@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Ablations of DESIGN.md §7: design choices the paper fixes (or defers
+ * to future work), isolated one at a time on a representative workload
+ * subset, all at the base configuration (14-bit map, 1/4 data array):
+ *
+ *  - map hash function: average+range (paper) vs average-only vs
+ *    range-only (Sec 3.7 "other hash functions are possible");
+ *  - data-array set indexing: XOR-folded (our default) vs the paper's
+ *    raw low map bits;
+ *  - data-array replacement: LRU (paper) vs FIFO vs random (Sec 3.5
+ *    "replacement variants left for future work").
+ */
+
+#include "common.hh"
+
+using namespace dopp;
+using namespace dopp::bench;
+
+namespace
+{
+
+const std::vector<std::string> subset = {"jpeg", "canneal",
+                                         "inversek2j", "kmeans"};
+
+struct Variant
+{
+    std::string label;
+    std::function<void(RunConfig &)> apply;
+};
+
+void
+runSuite(const std::string &title, const std::vector<Variant> &variants)
+{
+    TextTable table;
+    {
+        std::vector<std::string> head = {"benchmark"};
+        for (const auto &v : variants) {
+            head.push_back(v.label + " err");
+            head.push_back(v.label + " rt");
+        }
+        table.header(std::move(head));
+    }
+
+    for (const auto &name : subset) {
+        RunConfig base = defaultConfig();
+        base.kind = LlcKind::Baseline;
+        const RunResult baseline = runWithProgress(name, base);
+
+        std::vector<std::string> row = {name};
+        for (const auto &v : variants) {
+            RunConfig cfg = defaultConfig();
+            cfg.kind = LlcKind::SplitDopp;
+            v.apply(cfg);
+            const RunResult r = runWithProgress(name, cfg);
+            row.push_back(pct(
+                workloadOutputError(name, r.output, baseline.output)));
+            row.push_back(strfmt(
+                "%.2f", static_cast<double>(r.runtime) /
+                            static_cast<double>(baseline.runtime)));
+        }
+        table.row(std::move(row));
+    }
+    table.print(title);
+}
+
+} // namespace
+
+int
+main()
+{
+    runSuite("Ablation: map hash function",
+             {{"avg+range (paper)", [](RunConfig &) {}},
+              {"avg-only",
+               [](RunConfig &c) { c.hashMode = MapHashMode::AvgOnly; }},
+              {"range-only", [](RunConfig &c) {
+                   c.hashMode = MapHashMode::RangeOnly;
+               }}});
+
+    runSuite("Ablation: data-array set indexing",
+             {{"XOR-folded (default)", [](RunConfig &) {}},
+              {"raw low bits (paper Fig 4)", [](RunConfig &c) {
+                   c.hashDataSetIndex = false;
+               }}});
+
+    runSuite("Ablation: data-array replacement policy",
+             {{"LRU (paper)", [](RunConfig &) {}},
+              {"FIFO",
+               [](RunConfig &c) { c.dataPolicy = ReplPolicy::FIFO; }},
+              {"random", [](RunConfig &c) {
+                   c.dataPolicy = ReplPolicy::RANDOM;
+               }}});
+
+    runSuite("Ablation: map space at the extremes",
+             {{"M=14 (paper)", [](RunConfig &) {}},
+              {"M=10", [](RunConfig &c) { c.mapBits = 10; }},
+              {"M=16", [](RunConfig &c) { c.mapBits = 16; }}});
+
+    runSuite("Ablation: tag-count-aware data replacement (Sec 3.5 "
+             "future work), 1/8 data array",
+             {{"LRU (paper)",
+               [](RunConfig &c) { c.dataFraction = 0.125; }},
+              {"fewest-tags-first", [](RunConfig &c) {
+                   c.dataFraction = 0.125;
+                   c.tagCountAwareData = true;
+               }}});
+
+    runSuite("Lossless organizations (error must be zero)",
+             {{"BdI LLC", [](RunConfig &c) { c.kind = LlcKind::Bdi; }},
+              {"dedup LLC", [](RunConfig &c) {
+                   c.kind = LlcKind::Dedup;
+               }}});
+
+    // Sec 5.2 future work: per-use ranges for swaptions' rates.
+    {
+        TextTable table;
+        table.header({"swaptions annotation", "error", "runtime"});
+        RunConfig base = defaultConfig();
+        base.kind = LlcKind::Baseline;
+        const RunResult baseline = runWithProgress("swaptions", base);
+        for (const bool perUse : {false, true}) {
+            RunConfig cfg = defaultConfig();
+            cfg.kind = LlcKind::SplitDopp;
+            cfg.workload.perUseRanges = perUse;
+            const RunResult r = runWithProgress("swaptions", cfg);
+            table.row({perUse ? "per-use ranges (future work)"
+                              : "one range per type (paper)",
+                       pct(workloadOutputError("swaptions", r.output,
+                                               baseline.output)),
+                       strfmt("%.3f",
+                              static_cast<double>(r.runtime) /
+                                  static_cast<double>(
+                                      baseline.runtime))});
+        }
+        table.print("Ablation: shared vs per-use declared ranges "
+                    "(swaptions, Sec 5.2)");
+    }
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig 9: application output error (a) and normalized runtime (b) of
+ * the split Doppelgänger LLC as the map space varies over 12/13/14
+ * bits (base configuration otherwise: 1/4 data array, Table 1).
+ *
+ * Paper shape: error decreases with a larger map space and stays near
+ * or below 10% at 14 bits except ferret and swaptions; runtime stays
+ * within a few percent of the baseline, increasing slightly with the
+ * map-space size.
+ */
+
+#include "common.hh"
+
+using namespace dopp;
+using namespace dopp::bench;
+
+int
+main()
+{
+    const unsigned mapBits[] = {12, 13, 14};
+
+    TextTable err;
+    err.header({"benchmark", "error @12-bit", "error @13-bit",
+                "error @14-bit"});
+    TextTable rt;
+    rt.header({"benchmark", "runtime @12-bit", "runtime @13-bit",
+               "runtime @14-bit"});
+
+    std::vector<double> rtSum(3, 0.0);
+    for (const auto &name : workloadNames()) {
+        RunConfig base = defaultConfig();
+        base.kind = LlcKind::Baseline;
+        const RunResult baseline = runWithProgress(name, base);
+
+        std::vector<std::string> erow = {name};
+        std::vector<std::string> rrow = {name};
+        for (int i = 0; i < 3; ++i) {
+            RunConfig cfg = defaultConfig();
+            cfg.kind = LlcKind::SplitDopp;
+            cfg.mapBits = mapBits[i];
+            cfg.dataFraction = 0.25;
+            const RunResult r = runWithProgress(name, cfg);
+            const double error =
+                workloadOutputError(name, r.output, baseline.output);
+            const double norm = static_cast<double>(r.runtime) /
+                static_cast<double>(baseline.runtime);
+            erow.push_back(pct(error));
+            rrow.push_back(strfmt("%.3f", norm));
+            rtSum[static_cast<size_t>(i)] += norm;
+        }
+        err.row(std::move(erow));
+        rt.row(std::move(rrow));
+    }
+
+    const double n = static_cast<double>(workloadNames().size());
+    rt.row({"average", strfmt("%.3f", rtSum[0] / n),
+            strfmt("%.3f", rtSum[1] / n), strfmt("%.3f", rtSum[2] / n)});
+
+    err.print("Fig 9a: output error vs map space size (split Dopp, "
+              "1/4 data array)");
+    rt.print("Fig 9b: normalized runtime vs map space size");
+    std::printf("(paper: error ~10%% or lower at 14-bit except ferret/"
+                "swaptions; runtime within ~1%% across map sizes)\n");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fig 12: off-chip memory traffic of the split Doppelgänger LLC,
+ * normalized to the 2 MB baseline, for 1/2, 1/4 and 1/8 data arrays.
+ *
+ * Paper shape: minimal impact — +1.1% (1/2) and +3.4% (1/4) on
+ * average.
+ */
+
+#include "common.hh"
+
+using namespace dopp;
+using namespace dopp::bench;
+
+int
+main()
+{
+    const double fractions[] = {0.5, 0.25, 0.125};
+
+    TextTable table;
+    table.header({"benchmark", "traffic @1/2", "traffic @1/4",
+                  "traffic @1/8"});
+
+    double sums[3] = {};
+    for (const auto &name : workloadNames()) {
+        RunConfig base = defaultConfig();
+        base.kind = LlcKind::Baseline;
+        const RunResult baseline = runWithProgress(name, base);
+
+        std::vector<std::string> row = {name};
+        for (int i = 0; i < 3; ++i) {
+            RunConfig cfg = defaultConfig();
+            cfg.kind = LlcKind::SplitDopp;
+            cfg.dataFraction = fractions[i];
+            const RunResult r = runWithProgress(name, cfg);
+            const double norm =
+                static_cast<double>(r.offChipTraffic()) /
+                static_cast<double>(
+                    std::max<u64>(baseline.offChipTraffic(), 1));
+            row.push_back(strfmt("%.3f", norm));
+            sums[i] += norm;
+        }
+        table.row(std::move(row));
+    }
+
+    const double n = static_cast<double>(workloadNames().size());
+    table.row({"average", strfmt("%.3f", sums[0] / n),
+               strfmt("%.3f", sums[1] / n), strfmt("%.3f", sums[2] / n)});
+    table.print("Fig 12: off-chip memory traffic normalized to "
+                "baseline");
+    std::printf("(paper averages: 1.011 @1/2, 1.034 @1/4)\n");
+    return 0;
+}

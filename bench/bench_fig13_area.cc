@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig 13: LLC area reduction relative to the 2 MB baseline for the
+ * split Doppelgänger (1/2, 1/4, 1/8 data arrays) and uniDoppelgänger
+ * (3/4, 1/2, 1/4 data arrays) organizations, from the CactiLite model
+ * (calibrated to the paper's Table 3 CACTI outputs). Purely
+ * analytical — no simulation.
+ *
+ * Paper: Dopp 1.36× / 1.55× / 1.70×; uniDopp @1/4 3.15×.
+ */
+
+#include "energy/hardware_cost.hh"
+
+#include "common.hh"
+
+using namespace dopp;
+using namespace dopp::bench;
+
+int
+main()
+{
+    const CactiLite cacti;
+    const LlcCost base = baselineLlcCost(cacti);
+    std::printf("baseline 2 MB LLC: %.2f mm^2 (paper: 4.12 mm^2)\n",
+                base.totalAreaMm2);
+
+    TextTable table;
+    table.header({"organization", "data array", "area (mm^2)",
+                  "reduction", "paper"});
+
+    struct Row
+    {
+        bool unified;
+        double fraction;
+        const char *paper;
+    };
+    const Row rows[] = {
+        {false, 0.5, "1.36x"},  {false, 0.25, "1.55x"},
+        {false, 0.125, "1.70x"}, {true, 0.75, "(modest)"},
+        {true, 0.5, "-"},        {true, 0.25, "3.15x"},
+    };
+
+    for (const auto &r : rows) {
+        RunConfig cfg;
+        cfg.dataFraction = r.fraction;
+        LlcCost cost;
+        if (r.unified) {
+            cost = uniLlcCost(cacti, uniDoppConfig(cfg));
+        } else {
+            cost = splitLlcCost(cacti, 16 * 1024, 16,
+                                splitDoppConfig(cfg));
+        }
+        table.row({r.unified ? "uniDoppelganger" : "Doppelganger",
+                   strfmt("%g", r.fraction),
+                   strfmt("%.2f", cost.totalAreaMm2),
+                   times(base.totalAreaMm2 / cost.totalAreaMm2),
+                   r.paper});
+    }
+
+    table.print("Fig 13: LLC area reduction");
+    return 0;
+}

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Micro-operation benchmarks (google-benchmark): map generation
+ * throughput for each element type, Doppelgänger hit/miss/writeback
+ * paths against the conventional cache's, B∆I compression and
+ * decompression, and the full 4-core hierarchy access path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compress/bdi.hh"
+#include "core/doppelganger_cache.hh"
+#include "core/split_llc.hh"
+#include "sim/hierarchy.hh"
+#include "util/random.hh"
+
+using namespace dopp;
+
+namespace
+{
+
+BlockData
+randomBlock(Rng &rng)
+{
+    BlockData b;
+    for (auto &byte : b)
+        byte = static_cast<u8>(rng.below(256));
+    return b;
+}
+
+void
+BM_MapGeneration(benchmark::State &state)
+{
+    const ElemType type = static_cast<ElemType>(state.range(0));
+    Rng rng(42);
+    BlockData block = randomBlock(rng);
+    MapParams params;
+    params.mapBits = 14;
+    params.type = type;
+    params.minValue = 0.0;
+    params.maxValue = 255.0;
+
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(computeMap(block.data(), params));
+        block[0] = static_cast<u8>(block[0] + 1);
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+
+void
+BM_BdiCompress(benchmark::State &state)
+{
+    Rng rng(42);
+    // A compressible block: small deltas from one base.
+    BlockData block = {};
+    for (unsigned i = 0; i < blockBytes; i += 4) {
+        const i32 v = 1000000 + static_cast<i32>(rng.below(100));
+        std::memcpy(block.data() + i, &v, 4);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(bdiCompressedSize(block.data()));
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+
+void
+BM_BdiRoundTrip(benchmark::State &state)
+{
+    Rng rng(42);
+    BlockData block = {};
+    for (unsigned i = 0; i < blockBytes; i += 4) {
+        const i32 v = 1000000 + static_cast<i32>(rng.below(100));
+        std::memcpy(block.data() + i, &v, 4);
+    }
+    BlockData out;
+    for (auto _ : state) {
+        const BdiCompressed c = bdiCompress(block.data());
+        benchmark::DoNotOptimize(bdiDecompress(c, out.data()));
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+
+void
+BM_DoppFetchHit(benchmark::State &state)
+{
+    MainMemory mem;
+    DoppConfig cfg;
+    DoppelgangerCache cache(mem, cfg, nullptr);
+    Rng rng(7);
+    // Warm 1024 blocks.
+    BlockData buf;
+    for (u64 i = 0; i < 1024; ++i)
+        cache.fetch(i * blockBytes, buf.data());
+    u64 i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.fetch((i++ % 1024) * blockBytes, buf.data()));
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+
+void
+BM_DoppFetchMissInsert(benchmark::State &state)
+{
+    MainMemory mem;
+    DoppConfig cfg;
+    DoppelgangerCache cache(mem, cfg, nullptr);
+    Rng rng(7);
+    BlockData buf;
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.fetch(a, buf.data()));
+        a += blockBytes;
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+
+void
+BM_ConventionalFetchHit(benchmark::State &state)
+{
+    MainMemory mem;
+    ConventionalLlc cache(mem, 2 * 1024 * 1024, 16, 6, nullptr);
+    BlockData buf;
+    for (u64 i = 0; i < 1024; ++i)
+        cache.fetch(i * blockBytes, buf.data());
+    u64 i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.fetch((i++ % 1024) * blockBytes, buf.data()));
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+
+void
+BM_HierarchyAccess(benchmark::State &state)
+{
+    MainMemory mem;
+    ApproxRegistry reg;
+    ConventionalLlc llc(mem, 2 * 1024 * 1024, 16, 6, &reg);
+    HierarchyConfig hc;
+    MemorySystem sys(hc, llc, mem);
+    Rng rng(3);
+    u32 value = 0;
+    u64 i = 0;
+    for (auto _ : state) {
+        const Addr a = (i * 4) % (1 << 20);
+        benchmark::DoNotOptimize(
+            sys.access(static_cast<CoreId>(i % 4), a, false, 4, &value));
+        ++i;
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+
+BENCHMARK(BM_MapGeneration)
+    ->Arg(static_cast<int>(ElemType::U8))
+    ->Arg(static_cast<int>(ElemType::I32))
+    ->Arg(static_cast<int>(ElemType::F32))
+    ->Arg(static_cast<int>(ElemType::F64));
+BENCHMARK(BM_BdiCompress);
+BENCHMARK(BM_BdiRoundTrip);
+BENCHMARK(BM_DoppFetchHit);
+BENCHMARK(BM_DoppFetchMissInsert);
+BENCHMARK(BM_ConventionalFetchHit);
+BENCHMARK(BM_HierarchyAccess);
+
+} // namespace
+
+BENCHMARK_MAIN();

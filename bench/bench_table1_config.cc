@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Table 1: the simulated system configuration, printed from the live
+ * defaults of the code (not hard-coded strings), so drift between the
+ * documentation and the implementation is impossible.
+ */
+
+#include "common.hh"
+#include "sim/hierarchy.hh"
+
+using namespace dopp;
+using namespace dopp::bench;
+
+int
+main()
+{
+    const HierarchyConfig hc;
+    const RunConfig rc;
+    const DoppConfig split = splitDoppConfig(rc);
+    const DoppConfig uni = uniDoppConfig(rc);
+    const MainMemory mem;
+
+    TextTable table;
+    table.header({"component", "configuration"});
+    table.row({"processor", strfmt("%u cores, 1 GHz", hc.numCores)});
+    table.row({"private L1",
+               strfmt("%llu KB, %u-way, LRU, %llu-cycle, 64 B blocks",
+                      static_cast<unsigned long long>(hc.l1Bytes / 1024),
+                      hc.l1Ways,
+                      static_cast<unsigned long long>(hc.l1Latency))});
+    table.row({"private L2",
+               strfmt("%llu KB, %u-way, LRU, %llu-cycle",
+                      static_cast<unsigned long long>(hc.l2Bytes / 1024),
+                      hc.l2Ways,
+                      static_cast<unsigned long long>(hc.l2Latency))});
+    table.row({"shared LLC",
+               strfmt("%llu MB, %u-way, LRU, inclusive, %llu-cycle",
+                      static_cast<unsigned long long>(
+                          rc.baselineBytes / 1024 / 1024),
+                      rc.llcWays,
+                      static_cast<unsigned long long>(rc.llcLatency))});
+    table.row({"main memory",
+               strfmt("%llu-cycle latency",
+                      static_cast<unsigned long long>(mem.latency()))});
+    table.row({"coherence", "MSI directory at the LLC"});
+    table.row({"precise cache (split)",
+               strfmt("%llu KB, %u-way",
+                      static_cast<unsigned long long>(
+                          rc.baselineBytes / 2 / 1024),
+                      rc.llcWays)});
+    table.row({"Doppelganger tag array",
+               strfmt("%u K tags, %u-way", split.tagEntries / 1024,
+                      split.tagWays)});
+    table.row({"Doppelganger data array",
+               strfmt("%u entries (%u KB, 1/4 capacity), %u-way",
+                      split.dataEntries,
+                      split.dataEntries * 64 / 1024, split.dataWays)});
+    table.row({"map space", strfmt("%u-bit", split.mapBits)});
+    table.row({"uniDoppelganger tag array",
+               strfmt("%u K tags, %u-way", uni.tagEntries / 1024,
+                      uni.tagWays)});
+    table.row({"uniDoppelganger data array",
+               strfmt("%u entries (%u KB, 1/4 capacity), %u-way",
+                      uni.dataEntries, uni.dataEntries * 64 / 1024,
+                      uni.dataWays)});
+
+    table.print("Table 1: configuration parameters used in evaluation");
+    return 0;
+}

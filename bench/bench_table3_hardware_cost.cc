@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Table 3: per-structure hardware cost — entry bit widths (computed
+ * from first principles), total storage, area, access latency and
+ * access energy (CactiLite), next to the paper's published values.
+ * Also checks the Sec 5.6 claims: the 1.43× metadata-inclusive storage
+ * reduction, the 168 pJ map generation, and the 1.31× lower combined
+ * MTag+data access latency.
+ */
+
+#include "energy/hardware_cost.hh"
+
+#include "common.hh"
+
+using namespace dopp;
+using namespace dopp::bench;
+
+namespace
+{
+
+struct PaperRow
+{
+    unsigned tagBits;
+    double totalKb;
+    double areaMm2;
+    double tagNs;
+    double dataNs; // 0 = none
+    double tagPj;
+    double dataPj;
+};
+
+void
+addRow(TextTable &table, const StructureCost &c, const PaperRow &paper)
+{
+    table.row({
+        c.name,
+        strfmt("%llu", static_cast<unsigned long long>(c.entries)),
+        strfmt("%u (paper %u)", c.tagEntryBits, paper.tagBits),
+        strfmt("%.0f (paper %.0f)", c.totalKb, paper.totalKb),
+        strfmt("%.2f (paper %.2f)", c.areaMm2, paper.areaMm2),
+        paper.dataNs > 0.0
+            ? strfmt("%.2f/%.2f (paper %.2f/%.2f)", c.tagPart.latencyNs,
+                     c.dataPart.latencyNs, paper.tagNs, paper.dataNs)
+            : strfmt("%.2f/- (paper %.2f/-)", c.tagPart.latencyNs,
+                     paper.tagNs),
+        paper.dataPj > 0.0
+            ? strfmt("%.1f/%.1f (paper %.1f/%.1f)",
+                     c.tagPart.readEnergyPj, c.dataPart.readEnergyPj,
+                     paper.tagPj, paper.dataPj)
+            : strfmt("%.1f/- (paper %.1f/-)", c.tagPart.readEnergyPj,
+                     paper.tagPj),
+    });
+}
+
+} // namespace
+
+int
+main()
+{
+    const CactiLite cacti;
+    RunConfig rc;
+    const DoppConfig split = splitDoppConfig(rc);
+    rc.dataFraction = 0.5; // Table 1/3: uniDopp with a 1 MB data array
+    const DoppConfig uni = uniDoppConfig(rc);
+
+    const StructureCost baseline =
+        conventionalCost(cacti, "baseline LLC 2MB", 32 * 1024, 16);
+    const StructureCost precise =
+        conventionalCost(cacti, "precise cache 1MB", 16 * 1024, 16);
+    const StructureCost dtag =
+        doppTagCost(cacti, "Dopp tag array", split);
+    const StructureCost ddata =
+        doppDataCost(cacti, "Dopp data array 256KB", split);
+    const StructureCost utag =
+        doppTagCost(cacti, "uniDopp tag array", uni);
+    const StructureCost udata =
+        doppDataCost(cacti, "uniDopp data array 1MB", uni);
+
+    TextTable table;
+    table.header({"structure", "entries", "tag entry bits",
+                  "total KB", "area mm^2", "latency tag/data ns",
+                  "energy tag/data pJ"});
+    addRow(table, baseline, {27, 2156, 4.12, 0.61, 1.27, 24.8, 667.4});
+    addRow(table, precise, {28, 1080, 1.91, 0.45, 1.07, 13.5, 322.7});
+    addRow(table, dtag, {77, 154, 0.19, 0.48, 0, 30.8, 0});
+    addRow(table, ddata, {38, 275, 0.47, 0.30, 0.67, 6.3, 80.3});
+    addRow(table, utag, {79, 316, 0.40, 0.74, 0, 61.3, 0});
+    addRow(table, udata, {38, 1100, 1.95, 0.51, 1.07, 18.7, 322.7});
+    table.print("Table 3: hardware cost, access latency and energy");
+
+    // Sec 5.6 claims.
+    const double storageReduction = baseline.totalKb /
+        (precise.totalKb + dtag.totalKb + ddata.totalKb);
+    std::printf("\nstorage reduction incl. metadata: %s "
+                "(paper: 1.43x)\n",
+                times(storageReduction).c_str());
+    std::printf("map generation: %u maf ops x 8 pJ = %.0f pJ "
+                "(paper: 168 pJ)\n",
+                mapGenFlops, mapGenEnergyPj);
+    const double dataLatencyReduction = baseline.dataPart.latencyNs /
+        (ddata.tagPart.latencyNs + ddata.dataPart.latencyNs);
+    std::printf("data access latency: baseline %.2f ns vs Dopp "
+                "MTag+data %.2f ns -> %s lower (paper: 1.31x)\n",
+                baseline.dataPart.latencyNs,
+                ddata.tagPart.latencyNs + ddata.dataPart.latencyNs,
+                times(dataLatencyReduction).c_str());
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure bench binaries: environment-tuned
+ * workload scale, snapshot cadence, and run-with-progress helpers.
+ *
+ * Environment knobs:
+ *   DOPP_WORKLOAD_SCALE   input-size multiplier (default 1.0)
+ *   DOPP_SNAPSHOT_PERIOD  accesses between LLC snapshots (default 400k)
+ *   DOPP_SNAPSHOT_CAP     max blocks analysed per snapshot (default 6k)
+ */
+
+#ifndef DOPP_BENCH_COMMON_HH
+#define DOPP_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/similarity.hh"
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+
+namespace dopp::bench
+{
+
+inline u64
+envU64(const char *name, u64 fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return fallback;
+    const long long parsed = std::atoll(v);
+    return parsed > 0 ? static_cast<u64>(parsed) : fallback;
+}
+
+inline u64
+snapshotPeriod()
+{
+    return envU64("DOPP_SNAPSHOT_PERIOD", 400000);
+}
+
+inline size_t
+snapshotCap()
+{
+    return static_cast<size_t>(envU64("DOPP_SNAPSHOT_CAP", 6000));
+}
+
+/** Deterministically thin @p snap to at most @p cap blocks. */
+inline Snapshot
+thinSnapshot(const Snapshot &snap, size_t cap)
+{
+    if (snap.size() <= cap)
+        return snap;
+    Snapshot out;
+    out.reserve(cap);
+    const double stride =
+        static_cast<double>(snap.size()) / static_cast<double>(cap);
+    for (size_t i = 0; i < cap; ++i)
+        out.push_back(snap[static_cast<size_t>(
+            static_cast<double>(i) * stride)]);
+    return out;
+}
+
+/** Default run configuration at the environment's workload scale. */
+inline RunConfig
+defaultConfig()
+{
+    RunConfig cfg;
+    cfg.workload.scale = workloadScaleFromEnv();
+    return cfg;
+}
+
+/** Run @p name under @p cfg with a progress line on stderr. */
+inline RunResult
+runWithProgress(const std::string &name, const RunConfig &cfg)
+{
+    std::fprintf(stderr, "[bench] %s on %s (M=%u, data=%g)...\n",
+                 name.c_str(), llcKindName(cfg.kind), cfg.mapBits,
+                 cfg.dataFraction);
+    return runWorkload(name, cfg);
+}
+
+} // namespace dopp::bench
+
+#endif // DOPP_BENCH_COMMON_HH

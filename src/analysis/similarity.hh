@@ -1,0 +1,115 @@
+/**
+ * @file
+ * LLC-content similarity analyses (paper Sec 2 and Sec 5.1).
+ *
+ * The paper instruments applications with Pin and periodically examines
+ * the blocks resident in a baseline 2 MB LLC, reporting the *average
+ * fraction of approximate data storage* that could be saved if similar
+ * blocks shared one data entry. We reproduce the same measurement by
+ * snapshotting our simulated baseline LLC during workload execution and
+ * running these analyses over the snapshots:
+ *
+ *  - thresholdSavings: element-wise similarity at threshold T (Fig 2)
+ *  - mapSavings:       map-space clustering at M bits (Fig 7)
+ *  - dedupSavings:     exact byte-identical deduplication (Fig 8)
+ *  - bdiSavings:       B∆I intra-block compression (Fig 8)
+ *  - doppBdiSavings:   map clustering + B∆I on the survivors (Fig 8)
+ */
+
+#ifndef DOPP_ANALYSIS_SIMILARITY_HH
+#define DOPP_ANALYSIS_SIMILARITY_HH
+
+#include <vector>
+
+#include "core/map_function.hh"
+#include "sim/llc.hh"
+#include "sim/memory.hh"
+
+namespace dopp
+{
+
+/** One LLC-resident block captured for offline analysis. */
+struct SnapshotBlock
+{
+    Addr addr = 0;
+    BlockData data = {};
+    bool approx = false;
+    ElemType type = ElemType::F32;
+    double minValue = 0.0;
+    double maxValue = 1.0;
+};
+
+/** A point-in-time capture of LLC contents. */
+using Snapshot = std::vector<SnapshotBlock>;
+
+/** Capture the LLC's resident blocks, annotating each from @p reg. */
+Snapshot captureSnapshot(const LastLevelCache &llc,
+                         const ApproxRegistry &reg);
+
+/**
+ * Fig 2: fraction of approximate data storage saved when blocks that
+ * are pair-wise element-similar at threshold @p threshold share one
+ * entry. @p threshold is a fraction of the declared value range (e.g.
+ * 0.01 for "1%"). Two blocks are similar iff *every* element pair
+ * differs by at most threshold × range (Sec 2).
+ *
+ * Clustering is greedy first-fit over blocks sorted by element average;
+ * @p max_candidates bounds the per-block representative scan to keep
+ * the analysis linear-ish (a documented approximation that only
+ * *under*-counts savings).
+ */
+double thresholdSavings(const Snapshot &snap, double threshold,
+                        size_t max_candidates = 512);
+
+/** Fig 7: savings when blocks with equal M-bit maps share an entry. */
+double mapSavings(const Snapshot &snap, unsigned map_bits,
+                  MapHashMode mode = MapHashMode::AvgAndRange);
+
+/** Fig 8: savings from exact (byte-identical) deduplication. */
+double dedupSavings(const Snapshot &snap);
+
+/** Fig 8: savings from B∆I compression of every approximate block. */
+double bdiSavings(const Snapshot &snap);
+
+/** Savings from FPC compression of every approximate block (the other
+ * compression scheme the paper cites; not in Fig 8 itself). */
+double fpcSavings(const Snapshot &snap);
+
+/** Fig 8: Doppelgänger map sharing, then B∆I on the unique blocks. */
+double doppBdiSavings(const Snapshot &snap, unsigned map_bits);
+
+/** Table 2: fraction of resident blocks that are approximate. */
+double approxFraction(const Snapshot &snap);
+
+/**
+ * Averages per-snapshot metrics across periodic snapshots of a run,
+ * reproducing the paper's "average fraction of blocks residing in the
+ * LLC" methodology.
+ */
+class SnapshotAverager
+{
+  public:
+    /** Record one snapshot's worth of metrics. */
+    void
+    sample(double value)
+    {
+        sum += value;
+        ++n;
+    }
+
+    double
+    mean() const
+    {
+        return n ? sum / static_cast<double>(n) : 0.0;
+    }
+
+    u64 count() const { return n; }
+
+  private:
+    double sum = 0.0;
+    u64 n = 0;
+};
+
+} // namespace dopp
+
+#endif // DOPP_ANALYSIS_SIMILARITY_HH

@@ -1,0 +1,234 @@
+#include "bdi_llc.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace dopp
+{
+
+BdiLlc::BdiLlc(MainMemory &memory, const BdiLlcConfig &config,
+               const ApproxRegistry *registry)
+    : LastLevelCache(memory), cfg(config), registry(registry),
+      sets(config.sizeBytes / blockBytes / config.ways),
+      slicer(static_cast<u32>(config.sizeBytes / blockBytes /
+                              config.ways))
+{
+    if (cfg.tagFactor == 0)
+        fatal("bdi llc: tagFactor must be non-zero");
+    for (auto &set : sets)
+        set.entries.resize(static_cast<size_t>(cfg.ways) *
+                           cfg.tagFactor);
+}
+
+BdiLlc::Entry *
+BdiLlc::find(Addr addr)
+{
+    Set &set = sets[slicer.set(addr)];
+    const u64 tag = slicer.tag(addr);
+    for (auto &e : set.entries)
+        if (e.valid && e.tag == tag)
+            return &e;
+    return nullptr;
+}
+
+const BdiLlc::Entry *
+BdiLlc::find(Addr addr) const
+{
+    return const_cast<BdiLlc *>(this)->find(addr);
+}
+
+void
+BdiLlc::evictLru(Set &set, u32 set_idx)
+{
+    Entry *victim = nullptr;
+    for (auto &e : set.entries) {
+        if (e.valid && (!victim || e.stamp < victim->stamp))
+            victim = &e;
+    }
+    DOPP_ASSERT(victim);
+
+    const Addr addr = slicer.addr(set_idx, victim->tag);
+    ++llcStats.evictions;
+    BlockData upward;
+    const bool upwardDirty = invalidateUpward(addr, upward.data());
+    if (upwardDirty) {
+        mem.writeBlock(addr, upward.data());
+        ++llcStats.dirtyWritebacks;
+    } else if (victim->dirty) {
+        ++llcStats.dataArray.reads;
+        mem.writeBlock(addr, victim->data.data());
+        ++llcStats.dirtyWritebacks;
+    }
+    set.usedBytes -= victim->size;
+    victim->valid = false;
+}
+
+void
+BdiLlc::makeRoom(Set &set, u32 set_idx, unsigned extra)
+{
+    const u64 budget = static_cast<u64>(cfg.ways) * blockBytes;
+    auto freeSlot = [&]() -> bool {
+        for (const auto &e : set.entries)
+            if (!e.valid)
+                return true;
+        return false;
+    };
+    while (set.usedBytes + extra > budget || !freeSlot())
+        evictLru(set, set_idx);
+}
+
+LastLevelCache::FetchResult
+BdiLlc::fetch(Addr addr, u8 *data)
+{
+    ++llcStats.fetches;
+    ++llcStats.tagArray.reads;
+
+    Entry *entry = find(addr);
+    if (entry) {
+        ++llcStats.fetchHits;
+        ++llcStats.dataArray.reads;
+        entry->stamp = ++clock;
+        std::memcpy(data, entry->data.data(), blockBytes);
+        return {true, cfg.hitLatency + cfg.decompressLatency};
+    }
+
+    ++llcStats.fetchMisses;
+    BlockData fetched;
+    mem.readBlock(addr, fetched.data());
+
+    const unsigned size = bdiCompressedSize(fetched.data());
+    const u32 set_idx = slicer.set(addr);
+    Set &set = sets[set_idx];
+    makeRoom(set, set_idx, size);
+
+    for (auto &e : set.entries) {
+        if (e.valid)
+            continue;
+        e.valid = true;
+        e.tag = slicer.tag(addr);
+        e.dirty = false;
+        e.size = size;
+        e.data = fetched;
+        e.stamp = ++clock;
+        set.usedBytes += size;
+        break;
+    }
+    ++llcStats.tagArray.writes;
+    ++llcStats.dataArray.writes;
+
+    std::memcpy(data, fetched.data(), blockBytes);
+    return {false, cfg.hitLatency + mem.latency()};
+}
+
+void
+BdiLlc::writeback(Addr addr, const u8 *data)
+{
+    ++llcStats.writebacksIn;
+    ++llcStats.tagArray.reads;
+
+    Entry *entry = find(addr);
+    if (!entry) {
+        mem.writeBlock(addr, data);
+        ++llcStats.dirtyWritebacks;
+        return;
+    }
+
+    const unsigned newSize = bdiCompressedSize(data);
+    const u32 set_idx = slicer.set(addr);
+    Set &set = sets[set_idx];
+
+    // A grown block may need room; the entry itself must survive the
+    // eviction loop, so temporarily release then re-add its bytes.
+    set.usedBytes -= entry->size;
+    entry->size = 0;
+    entry->stamp = ++clock; // protect from LRU while making room
+    const u64 budget = static_cast<u64>(cfg.ways) * blockBytes;
+    while (set.usedBytes + newSize > budget)
+        evictLru(set, set_idx);
+
+    std::memcpy(entry->data.data(), data, blockBytes);
+    entry->size = newSize;
+    entry->dirty = true;
+    set.usedBytes += newSize;
+    ++llcStats.dataArray.writes;
+}
+
+bool
+BdiLlc::contains(Addr addr) const
+{
+    return find(addr) != nullptr;
+}
+
+void
+BdiLlc::forEachBlock(
+    const std::function<void(const LlcBlockInfo &)> &visit) const
+{
+    for (u32 s = 0; s < sets.size(); ++s) {
+        for (const auto &e : sets[s].entries) {
+            if (!e.valid)
+                continue;
+            LlcBlockInfo info;
+            info.addr = slicer.addr(s, e.tag);
+            info.data = e.data.data();
+            info.dirty = e.dirty;
+            const ApproxRegion *region =
+                registry ? registry->find(info.addr) : nullptr;
+            info.approx = region != nullptr;
+            info.type = region ? region->type : ElemType::F32;
+            visit(info);
+        }
+    }
+}
+
+void
+BdiLlc::flush()
+{
+    for (u32 s = 0; s < sets.size(); ++s) {
+        Set &set = sets[s];
+        bool any = true;
+        while (any) {
+            any = false;
+            for (const auto &e : set.entries) {
+                if (e.valid) {
+                    any = true;
+                    break;
+                }
+            }
+            if (any)
+                evictLru(set, s);
+        }
+        set.usedBytes = 0;
+    }
+}
+
+u64
+BdiLlc::blockCount() const
+{
+    u64 n = 0;
+    for (const auto &set : sets)
+        for (const auto &e : set.entries)
+            n += e.valid ? 1 : 0;
+    return n;
+}
+
+u64
+BdiLlc::compressedBytes() const
+{
+    u64 n = 0;
+    for (const auto &set : sets)
+        n += set.usedBytes;
+    return n;
+}
+
+double
+BdiLlc::compressionRatio() const
+{
+    const u64 bytes = compressedBytes();
+    if (bytes == 0)
+        return 1.0;
+    return static_cast<double>(blockCount() * blockBytes) /
+        static_cast<double>(bytes);
+}
+
+} // namespace dopp

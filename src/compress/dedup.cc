@@ -1,0 +1,70 @@
+#include "dedup.hh"
+
+namespace dopp
+{
+
+u64
+fnv1a64(const u8 *bytes, u64 len)
+{
+    u64 h = 0xcbf29ce484222325ULL;
+    for (u64 i = 0; i < len; ++i) {
+        h ^= bytes[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+DedupLlc::DedupLlc(MainMemory &memory, const DedupConfig &config)
+    : LastLevelCache(memory)
+{
+    DoppConfig dc;
+    dc.tagEntries = config.tagEntries;
+    dc.tagWays = config.tagWays;
+    dc.dataEntries = config.dataEntries;
+    dc.dataWays = config.dataWays;
+    dc.hitLatency = config.hitLatency;
+    dc.unified = false;
+    dc.mapOverride = [](const u8 *block, const MapParams &) {
+        return fnv1a64(block, blockBytes);
+    };
+    engine = std::make_unique<DoppelgangerCache>(memory, dc, nullptr);
+}
+
+void
+DedupLlc::setBackInvalidate(BackInvalidateFn fn)
+{
+    engine->setBackInvalidate(std::move(fn));
+}
+
+LastLevelCache::FetchResult
+DedupLlc::fetch(Addr addr, u8 *data)
+{
+    return engine->fetch(addr, data);
+}
+
+void
+DedupLlc::writeback(Addr addr, const u8 *data)
+{
+    engine->writeback(addr, data);
+}
+
+bool
+DedupLlc::contains(Addr addr) const
+{
+    return engine->contains(addr);
+}
+
+void
+DedupLlc::forEachBlock(
+    const std::function<void(const LlcBlockInfo &)> &visit) const
+{
+    engine->forEachBlock(visit);
+}
+
+void
+DedupLlc::flush()
+{
+    engine->flush();
+}
+
+} // namespace dopp

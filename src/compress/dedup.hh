@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Exact last-level-cache deduplication [Tian et al., ICS 2014], the
+ * inter-block lossless baseline of Fig 8.
+ *
+ * Reuses the decoupled tag/data engine of DoppelgangerCache, but maps
+ * blocks by a 64-bit content hash instead of the approximate-similarity
+ * map: only byte-identical blocks share a data entry (up to the ~2^-64
+ * chance of a hash collision, which would merely introduce the same
+ * kind of aliasing Doppelgänger embraces by design).
+ */
+
+#ifndef DOPP_COMPRESS_DEDUP_HH
+#define DOPP_COMPRESS_DEDUP_HH
+
+#include <memory>
+
+#include "core/doppelganger_cache.hh"
+#include "sim/llc.hh"
+
+namespace dopp
+{
+
+/** FNV-1a 64-bit hash of @p len bytes. */
+u64 fnv1a64(const u8 *bytes, u64 len);
+
+/** Configuration of the dedup LLC. */
+struct DedupConfig
+{
+    u32 tagEntries = 32 * 1024; ///< 2 MB tag-equivalent
+    u32 tagWays = 16;
+    u32 dataEntries = 16 * 1024;
+    u32 dataWays = 16;
+    Tick hitLatency = 6;
+};
+
+/**
+ * Deduplicating LLC: a DoppelgangerCache whose map function is a
+ * content hash, so sharing happens only between identical blocks.
+ */
+class DedupLlc : public LastLevelCache
+{
+  public:
+    DedupLlc(MainMemory &memory, const DedupConfig &config);
+
+    FetchResult fetch(Addr addr, u8 *data) override;
+    void writeback(Addr addr, const u8 *data) override;
+    bool contains(Addr addr) const override;
+    void forEachBlock(
+        const std::function<void(const LlcBlockInfo &)> &visit)
+        const override;
+    void flush() override;
+    const char *name() const override { return "dedup"; }
+
+    void setBackInvalidate(BackInvalidateFn fn) override;
+    const LlcStats &stats() const override { return engine->stats(); }
+    void resetStats() override { engine->resetStats(); }
+
+    /** Underlying engine, for occupancy introspection. */
+    const DoppelgangerCache &inner() const { return *engine; }
+
+  private:
+    std::unique_ptr<DoppelgangerCache> engine;
+};
+
+} // namespace dopp
+
+#endif // DOPP_COMPRESS_DEDUP_HH

@@ -1,0 +1,106 @@
+#include "fpc.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace dopp
+{
+
+unsigned
+fpcPatternBits(FpcPattern pattern)
+{
+    switch (pattern) {
+      case FpcPattern::ZeroRun: return 3;       // run length (1..8)
+      case FpcPattern::Sign4: return 4;
+      case FpcPattern::Sign8: return 8;
+      case FpcPattern::Sign16: return 16;
+      case FpcPattern::HalfZeroLow: return 16;
+      case FpcPattern::HalfSign8: return 16;
+      case FpcPattern::RepeatedByte: return 8;
+      case FpcPattern::Uncompressed: return 32;
+    }
+    return 32;
+}
+
+namespace
+{
+
+/** Does @p v sign-extend from its low @p bits bits? */
+bool
+signExtends(u32 v, unsigned bits)
+{
+    const i32 s = static_cast<i32>(v);
+    const i32 shifted = (s << (32 - bits)) >> (32 - bits);
+    return shifted == s;
+}
+
+} // namespace
+
+FpcPattern
+fpcClassify(u32 word)
+{
+    if (signExtends(word, 4))
+        return FpcPattern::Sign4;
+    if (signExtends(word, 8))
+        return FpcPattern::Sign8;
+    if (signExtends(word, 16))
+        return FpcPattern::Sign16;
+    if ((word & 0xFFFF0000u) == 0)
+        return FpcPattern::HalfZeroLow;
+    const u16 lo = static_cast<u16>(word);
+    const u16 hi = static_cast<u16>(word >> 16);
+    auto half8 = [](u16 h) {
+        const i16 s = static_cast<i16>(h);
+        return static_cast<i16>(static_cast<i8>(h)) == s;
+    };
+    if (half8(lo) && half8(hi))
+        return FpcPattern::HalfSign8;
+    const u8 b0 = static_cast<u8>(word);
+    if (((word >> 8) & 0xFF) == b0 && ((word >> 16) & 0xFF) == b0 &&
+        ((word >> 24) & 0xFF) == b0) {
+        return FpcPattern::RepeatedByte;
+    }
+    return FpcPattern::Uncompressed;
+}
+
+unsigned
+fpcCompressedBits(const u8 *block)
+{
+    constexpr unsigned words = blockBytes / 4;
+    constexpr unsigned prefixBits = 3;
+
+    unsigned bits = 0;
+    unsigned i = 0;
+    while (i < words) {
+        u32 w;
+        std::memcpy(&w, block + i * 4, 4);
+        if (w == 0) {
+            // Compact a run of up to 8 zero words into one code.
+            unsigned run = 1;
+            while (run < 8 && i + run < words) {
+                u32 next;
+                std::memcpy(&next, block + (i + run) * 4, 4);
+                if (next != 0)
+                    break;
+                ++run;
+            }
+            bits += prefixBits + fpcPatternBits(FpcPattern::ZeroRun);
+            i += run;
+            continue;
+        }
+        bits += prefixBits + fpcPatternBits(fpcClassify(w));
+        ++i;
+    }
+    return bits;
+}
+
+unsigned
+fpcCompressedSize(const u8 *block)
+{
+    const unsigned bytes = (fpcCompressedBits(block) + 7) / 8;
+    return std::min(bytes, blockBytes);
+}
+
+} // namespace dopp

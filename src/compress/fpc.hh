@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Frequent Pattern Compression (FPC) [Alameldeen & Wood, ISCA 2004],
+ * the other classic cache-compression scheme the paper cites alongside
+ * B∆I [1]. Each 32-bit word is encoded with a 3-bit prefix selecting
+ * one of eight frequent patterns (zero runs, sign-extended small
+ * values, halfword patterns, repeated bytes, uncompressed).
+ *
+ * Included for completeness of the compression substrate: it lets the
+ * Fig 8-style storage analysis (and any future compressed-LLC variant)
+ * compare both published schemes.
+ */
+
+#ifndef DOPP_COMPRESS_FPC_HH
+#define DOPP_COMPRESS_FPC_HH
+
+#include "util/types.hh"
+
+namespace dopp
+{
+
+/** FPC word pattern selectors (3-bit prefix). */
+enum class FpcPattern : u8
+{
+    ZeroRun,       ///< run of zero words (run length in payload)
+    Sign4,         ///< 4-bit sign-extended
+    Sign8,         ///< 8-bit sign-extended
+    Sign16,        ///< 16-bit sign-extended
+    HalfZeroLow,   ///< upper half zero, lower half kept
+    HalfSign8,     ///< both halfwords 8-bit sign-extendable
+    RepeatedByte,  ///< all four bytes equal
+    Uncompressed,  ///< full 32-bit word
+};
+
+/** Payload bits for @p pattern (excluding the 3-bit prefix). */
+unsigned fpcPatternBits(FpcPattern pattern);
+
+/** Classify one 32-bit word (ZeroRun is handled by the caller). */
+FpcPattern fpcClassify(u32 word);
+
+/**
+ * Compressed size, in *bits*, of a 64 B block under FPC (3-bit prefix
+ * per emitted code, zero-run compaction up to 8 words per code).
+ */
+unsigned fpcCompressedBits(const u8 *block);
+
+/** Compressed size rounded up to bytes, capped at 64. */
+unsigned fpcCompressedSize(const u8 *block);
+
+} // namespace dopp
+
+#endif // DOPP_COMPRESS_FPC_HH

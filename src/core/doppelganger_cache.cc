@@ -1,0 +1,623 @@
+#include "doppelganger_cache.hh"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace dopp
+{
+
+DoppelgangerCache::DoppelgangerCache(MainMemory &memory,
+                                     const DoppConfig &config,
+                                     const ApproxRegistry *registry)
+    : LastLevelCache(memory), cfg(config), registry(registry),
+      tags(config.tagEntries / config.tagWays, config.tagWays,
+           config.tagPolicy),
+      tagSlicer(config.tagEntries / config.tagWays),
+      data(config.dataEntries / config.dataWays, config.dataWays,
+           config.dataPolicy)
+{
+    if (config.tagEntries % config.tagWays != 0 ||
+        config.dataEntries % config.dataWays != 0) {
+        fatal("doppelganger: entries must be a multiple of ways");
+    }
+    if (config.dataEntries > config.tagEntries)
+        warn("doppelganger: data array larger than tag array");
+}
+
+i32
+DoppelgangerCache::tagIndex(u32 set, u32 way) const
+{
+    return static_cast<i32>(set * cfg.tagWays + way);
+}
+
+DoppelgangerCache::TagEntry &
+DoppelgangerCache::tagAt(i32 idx)
+{
+    return tags.at(static_cast<u32>(idx) / cfg.tagWays,
+                   static_cast<u32>(idx) % cfg.tagWays);
+}
+
+const DoppelgangerCache::TagEntry &
+DoppelgangerCache::tagAt(i32 idx) const
+{
+    return tags.at(static_cast<u32>(idx) / cfg.tagWays,
+                   static_cast<u32>(idx) % cfg.tagWays);
+}
+
+Addr
+DoppelgangerCache::tagAddr(i32 idx) const
+{
+    const u32 set = static_cast<u32>(idx) / cfg.tagWays;
+    return tagSlicer.addr(set, tagAt(idx).tag);
+}
+
+i32
+DoppelgangerCache::findTag(Addr addr) const
+{
+    const u32 set = tagSlicer.set(addr);
+    const int way = tags.findWay(set, tagSlicer.tag(addr));
+    return way < 0 ? -1 : tagIndex(set, static_cast<u32>(way));
+}
+
+u32
+DoppelgangerCache::dataSetOfMap(u64 map) const
+{
+    if (!cfg.hashDataSetIndex) {
+        // Paper-faithful indexing (Fig 4): the lower portion of the
+        // map selects the set. (Generalized to modulo so fractional
+        // data arrays — e.g. uniDoppelgänger's 3/4 — work; identical
+        // to the low bits for power-of-two set counts.)
+        return static_cast<u32>(map % data.sets());
+    }
+    // Hashed indexing (our default): a multiplicative mix spreads
+    // structured data (e.g. grid coordinates) across all sets. Entry
+    // identity is unchanged — entries always match on the full map.
+    u64 x = map;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<u32>(x % data.sets());
+}
+
+i32
+DoppelgangerCache::findDataByMap(u64 map) const
+{
+    const u32 set = dataSetOfMap(map);
+    for (u32 w = 0; w < cfg.dataWays; ++w) {
+        const DataEntry &e = data.at(set, w);
+        if (e.valid && !e.precise && e.tag == map)
+            return static_cast<i32>(set * cfg.dataWays + w);
+    }
+    return -1;
+}
+
+DoppelgangerCache::DataEntry &
+DoppelgangerCache::dataAt(i32 idx)
+{
+    return data.at(static_cast<u32>(idx) / cfg.dataWays,
+                   static_cast<u32>(idx) % cfg.dataWays);
+}
+
+const DoppelgangerCache::DataEntry &
+DoppelgangerCache::dataAt(i32 idx) const
+{
+    return data.at(static_cast<u32>(idx) / cfg.dataWays,
+                   static_cast<u32>(idx) % cfg.dataWays);
+}
+
+i32
+DoppelgangerCache::dataIndexOfTag(const TagEntry &t) const
+{
+    DOPP_ASSERT(t.valid);
+    if (t.precise)
+        return static_cast<i32>(t.map);
+    const i32 idx = findDataByMap(t.map);
+    if (idx < 0)
+        panic("doppelganger invariant broken: tag's map %llu has no "
+              "data entry", static_cast<unsigned long long>(t.map));
+    return idx;
+}
+
+MapParams
+DoppelgangerCache::paramsFor(Addr addr) const
+{
+    MapParams p;
+    p.mapBits = cfg.mapBits;
+    const ApproxRegion *region = registry ? registry->find(addr) : nullptr;
+    if (region) {
+        p.type = region->type;
+        p.minValue = region->minValue;
+        p.maxValue = region->maxValue;
+    } else {
+        p.type = cfg.defaultType;
+        p.minValue = cfg.defaultMin;
+        p.maxValue = cfg.defaultMax;
+    }
+    return p;
+}
+
+u64
+DoppelgangerCache::mapFor(Addr addr, const u8 *bytes) const
+{
+    const MapParams p = paramsFor(addr);
+    if (cfg.mapOverride)
+        return cfg.mapOverride(bytes, p);
+    return computeMap(bytes, p, cfg.hashMode);
+}
+
+void
+DoppelgangerCache::linkHead(i32 tag_idx, i32 data_idx)
+{
+    DataEntry &d = dataAt(data_idx);
+    TagEntry &t = tagAt(tag_idx);
+    t.prev = -1;
+    t.next = d.head;
+    if (d.head >= 0)
+        tagAt(d.head).prev = tag_idx;
+    d.head = tag_idx;
+}
+
+bool
+DoppelgangerCache::unlink(i32 tag_idx, i32 data_idx)
+{
+    TagEntry &t = tagAt(tag_idx);
+    if (t.prev >= 0)
+        tagAt(t.prev).next = t.next;
+    else
+        dataAt(data_idx).head = t.next;
+    if (t.next >= 0)
+        tagAt(t.next).prev = t.prev;
+    t.prev = -1;
+    t.next = -1;
+    return dataAt(data_idx).head < 0;
+}
+
+void
+DoppelgangerCache::writebackTag(i32 tag_idx, const DataEntry &entry)
+{
+    const TagEntry &t = tagAt(tag_idx);
+    const Addr addr = tagAddr(tag_idx);
+
+    // Inclusive LLC: drop private copies; a dirty private copy is the
+    // newest version and supersedes the shared data entry.
+    BlockData upward;
+    const bool upwardDirty = invalidateUpward(addr, upward.data());
+    if (upwardDirty) {
+        mem.writeBlock(addr, upward.data());
+        ++llcStats.dirtyWritebacks;
+    } else if (t.dirty) {
+        ++llcStats.dataArray.reads;
+        mem.writeBlock(addr, entry.data.data());
+        ++llcStats.dirtyWritebacks;
+    }
+}
+
+void
+DoppelgangerCache::evictDataEntry(i32 data_idx)
+{
+    DataEntry &d = dataAt(data_idx);
+    DOPP_ASSERT(d.valid);
+
+    // Evict every tag associated with this block; each may require a
+    // back-invalidation and a writeback (Sec 3.5).
+    u64 count = 0;
+    i32 cur = d.head;
+    while (cur >= 0) {
+        TagEntry &t = tagAt(cur);
+        const i32 next = t.next;
+        writebackTag(cur, d);
+        t.valid = false;
+        t.prev = -1;
+        t.next = -1;
+        ++llcStats.evictions;
+        ++count;
+        cur = next;
+    }
+    d.head = -1;
+    d.valid = false;
+    ++llcStats.dataEvictions;
+    llcStats.linkedTagsSum += count;
+    ++llcStats.linkedTagsSamples;
+}
+
+void
+DoppelgangerCache::evictTagEntry(i32 tag_idx)
+{
+    TagEntry &t = tagAt(tag_idx);
+    DOPP_ASSERT(t.valid);
+
+    const i32 data_idx = dataIndexOfTag(t);
+    DataEntry &d = dataAt(data_idx);
+
+    writebackTag(tag_idx, d);
+    const bool empty = unlink(tag_idx, data_idx);
+    t.valid = false;
+    ++llcStats.evictions;
+
+    if (empty) {
+        // Sole tag: its data entry goes too (Sec 3.5).
+        d.valid = false;
+        ++llcStats.dataEvictions;
+        llcStats.linkedTagsSum += 1;
+        ++llcStats.linkedTagsSamples;
+    }
+}
+
+u64
+DoppelgangerCache::linkedTagCount(i32 data_idx, u64 cap) const
+{
+    u64 n = 0;
+    for (i32 cur = dataAt(data_idx).head; cur >= 0 && n < cap;
+         cur = tagAt(cur).next) {
+        ++n;
+    }
+    return n;
+}
+
+i32
+DoppelgangerCache::allocateDataEntry(u32 set)
+{
+    u32 way = data.victimWay(set);
+    i32 idx = static_cast<i32>(set * cfg.dataWays + way);
+
+    if (cfg.tagCountAwareData && dataAt(idx).valid) {
+        // The set is full: prefer the way with the fewest linked tags
+        // (cheapest eviction); the base policy's pick breaks ties.
+        u64 best = linkedTagCount(idx);
+        for (u32 w = 0; w < cfg.dataWays && best > 1; ++w) {
+            const i32 cand = static_cast<i32>(set * cfg.dataWays + w);
+            const u64 count = linkedTagCount(cand, best);
+            if (count < best) {
+                best = count;
+                way = w;
+                idx = cand;
+            }
+        }
+    }
+
+    if (dataAt(idx).valid)
+        evictDataEntry(idx);
+    return idx;
+}
+
+void
+DoppelgangerCache::insertBlock(Addr addr, const u8 *bytes)
+{
+    // Allocate a tag entry (evicting the LRU tag if needed).
+    const u32 tset = tagSlicer.set(addr);
+    const u32 tway = tags.victimWay(tset);
+    const i32 tidx = tagIndex(tset, tway);
+    if (tagAt(tidx).valid)
+        evictTagEntry(tidx);
+
+    TagEntry &t = tagAt(tidx);
+    t.valid = true;
+    t.tag = tagSlicer.tag(addr);
+    t.dirty = false;
+    t.prev = -1;
+    t.next = -1;
+    tags.touchInsert(tset, tway);
+    ++llcStats.tagArray.writes;
+
+    const ApproxRegion *region = registry ? registry->find(addr) : nullptr;
+    const bool approx = cfg.unified ? region != nullptr : true;
+
+    if (!approx) {
+        // uniDoppelgänger precise path (Sec 3.8): an exclusive data
+        // entry addressed by a direct pointer; no hash computation.
+        t.precise = true;
+        const u32 dset = dataSetOfMap(addr >> blockOffsetBits);
+        const i32 didx = allocateDataEntry(dset);
+        DataEntry &d = dataAt(didx);
+        d.valid = true;
+        d.precise = true;
+        d.tag = blockAlign(addr);
+        d.head = tidx;
+        std::memcpy(d.data.data(), bytes, blockBytes);
+        data.touchInsert(dset, static_cast<u32>(didx) % cfg.dataWays);
+        t.map = static_cast<u64>(didx);
+        ++llcStats.mtagArray.writes;
+        ++llcStats.dataArray.writes;
+        return;
+    }
+
+    t.precise = false;
+    const u64 map = mapFor(addr, bytes);
+    ++llcStats.mapGens;
+    ++llcStats.mtagArray.reads;
+
+    const i32 existing = findDataByMap(map);
+    if (existing >= 0) {
+        // A similar block exists: share its entry, drop the fetched
+        // data (Sec 3.3 "Similar Data Block Exists").
+        linkHead(tidx, existing);
+        t.map = map;
+        data.touch(static_cast<u32>(existing) / cfg.dataWays,
+                   static_cast<u32>(existing) % cfg.dataWays);
+        return;
+    }
+
+    // No similar block: allocate (evicting a victim and all its tags).
+    const u32 dset = dataSetOfMap(map);
+    const i32 didx = allocateDataEntry(dset);
+    DataEntry &d = dataAt(didx);
+    d.valid = true;
+    d.precise = false;
+    d.tag = map;
+    d.head = -1;
+    std::memcpy(d.data.data(), bytes, blockBytes);
+    data.touchInsert(dset, static_cast<u32>(didx) % cfg.dataWays);
+    linkHead(tidx, didx);
+    t.map = map;
+    ++llcStats.mtagArray.writes;
+    ++llcStats.dataArray.writes;
+}
+
+LastLevelCache::FetchResult
+DoppelgangerCache::fetch(Addr addr, u8 *out)
+{
+    ++llcStats.fetches;
+    ++llcStats.tagArray.reads;
+
+    const i32 tidx = findTag(addr);
+    if (tidx >= 0) {
+        ++llcStats.fetchHits;
+        TagEntry &t = tagAt(tidx);
+        tags.touch(static_cast<u32>(tidx) / cfg.tagWays,
+                   static_cast<u32>(tidx) % cfg.tagWays);
+
+        // Second sequential lookup: the MTag array (Sec 3.2 step 2).
+        ++llcStats.mtagArray.reads;
+        const i32 didx = dataIndexOfTag(t);
+        DataEntry &d = dataAt(didx);
+        ++llcStats.dataArray.reads;
+        data.touch(static_cast<u32>(didx) / cfg.dataWays,
+                   static_cast<u32>(didx) % cfg.dataWays);
+        std::memcpy(out, d.data.data(), blockBytes);
+        return {true, cfg.hitLatency};
+    }
+
+    // Miss: the requester gets the fetched (exact) values immediately;
+    // placement happens off the critical path (Sec 3.3).
+    ++llcStats.fetchMisses;
+    mem.readBlock(addr, out);
+    insertBlock(addr, out);
+    return {false, cfg.hitLatency + mem.latency()};
+}
+
+void
+DoppelgangerCache::writeback(Addr addr, const u8 *bytes)
+{
+    ++llcStats.writebacksIn;
+    ++llcStats.tagArray.reads;
+
+    const i32 tidx = findTag(addr);
+    if (tidx < 0) {
+        // Not resident (inclusion is maintained by the hierarchy, so
+        // this only happens for orphan drains); go straight to memory.
+        mem.writeBlock(addr, bytes);
+        ++llcStats.dirtyWritebacks;
+        return;
+    }
+
+    TagEntry &t = tagAt(tidx);
+    tags.touch(static_cast<u32>(tidx) / cfg.tagWays,
+               static_cast<u32>(tidx) % cfg.tagWays);
+
+    if (t.precise) {
+        DataEntry &d = dataAt(static_cast<i32>(t.map));
+        std::memcpy(d.data.data(), bytes, blockBytes);
+        t.dirty = true;
+        ++llcStats.dataArray.writes;
+        return;
+    }
+
+    // Recompute the map with the new values (Sec 3.4).
+    const u64 newMap = mapFor(addr, bytes);
+    ++llcStats.mapGens;
+
+    if (newMap == t.map) {
+        // Silent or similarity-preserving store: dirty bit only.
+        t.dirty = true;
+        return;
+    }
+
+    // The map changed: move this tag to the new map's list.
+    ++llcStats.mtagArray.reads;
+    const i32 oldIdx = dataIndexOfTag(t);
+    if (unlink(tidx, oldIdx)) {
+        // This tag was the sole user; the entry's data is superseded
+        // by this very write, so it is freed without a writeback.
+        dataAt(oldIdx).valid = false;
+        ++llcStats.dataEvictions;
+    }
+
+    const i32 existing = findDataByMap(newMap);
+    if (existing >= 0) {
+        // A block with the new map exists: the written values are
+        // effectively ignored; this write made the block similar to
+        // one already cached (Sec 3.4).
+        linkHead(tidx, existing);
+        t.map = newMap;
+        t.dirty = true;
+        data.touch(static_cast<u32>(existing) / cfg.dataWays,
+                   static_cast<u32>(existing) % cfg.dataWays);
+        return;
+    }
+
+    const u32 dset = dataSetOfMap(newMap);
+    const i32 didx = allocateDataEntry(dset);
+    DataEntry &d = dataAt(didx);
+    d.valid = true;
+    d.precise = false;
+    d.tag = newMap;
+    d.head = -1;
+    std::memcpy(d.data.data(), bytes, blockBytes);
+    data.touchInsert(dset, static_cast<u32>(didx) % cfg.dataWays);
+    linkHead(tidx, didx);
+    t.map = newMap;
+    t.dirty = true;
+    ++llcStats.mtagArray.writes;
+    ++llcStats.dataArray.writes;
+}
+
+bool
+DoppelgangerCache::contains(Addr addr) const
+{
+    return findTag(addr) >= 0;
+}
+
+void
+DoppelgangerCache::forEachBlock(
+    const std::function<void(const LlcBlockInfo &)> &visit) const
+{
+    for (u32 s = 0; s < tags.sets(); ++s) {
+        for (u32 w = 0; w < cfg.tagWays; ++w) {
+            const TagEntry &t = tags.at(s, w);
+            if (!t.valid)
+                continue;
+            const i32 tidx = tagIndex(s, w);
+            LlcBlockInfo info;
+            info.addr = tagAddr(tidx);
+            info.data = dataAt(dataIndexOfTag(t)).data.data();
+            info.dirty = t.dirty;
+            info.approx = !t.precise;
+            const ApproxRegion *region =
+                registry ? registry->find(info.addr) : nullptr;
+            info.type = region ? region->type : cfg.defaultType;
+            visit(info);
+        }
+    }
+}
+
+void
+DoppelgangerCache::flush()
+{
+    for (u32 s = 0; s < tags.sets(); ++s) {
+        for (u32 w = 0; w < cfg.tagWays; ++w) {
+            const i32 tidx = tagIndex(s, w);
+            if (tagAt(tidx).valid)
+                evictTagEntry(tidx);
+        }
+    }
+    tags.invalidateAll();
+    data.invalidateAll();
+}
+
+unsigned
+DoppelgangerCache::tagsSharingWith(Addr addr) const
+{
+    const i32 tidx = findTag(addr);
+    if (tidx < 0)
+        return 0;
+    const i32 didx = dataIndexOfTag(tagAt(tidx));
+    unsigned count = 0;
+    for (i32 cur = dataAt(didx).head; cur >= 0; cur = tagAt(cur).next)
+        ++count;
+    return count;
+}
+
+bool
+DoppelgangerCache::sameDataEntry(Addr a, Addr b) const
+{
+    const i32 ta = findTag(a);
+    const i32 tb = findTag(b);
+    if (ta < 0 || tb < 0)
+        return false;
+    return dataIndexOfTag(tagAt(ta)) == dataIndexOfTag(tagAt(tb));
+}
+
+const u8 *
+DoppelgangerCache::peekBlock(Addr addr) const
+{
+    const i32 tidx = findTag(addr);
+    if (tidx < 0)
+        return nullptr;
+    return dataAt(dataIndexOfTag(tagAt(tidx))).data.data();
+}
+
+bool
+DoppelgangerCache::checkInvariants(std::string *why) const
+{
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+
+    const u64 totalTags =
+        static_cast<u64>(tags.sets()) * cfg.tagWays;
+    const u64 totalData =
+        static_cast<u64>(data.sets()) * cfg.dataWays;
+
+    // Pass 1: every valid tag resolves; count tags per data entry.
+    std::vector<u64> expected(totalData, 0);
+    for (u64 i = 0; i < totalTags; ++i) {
+        const TagEntry &t = tagAt(static_cast<i32>(i));
+        if (!t.valid)
+            continue;
+        i32 didx;
+        if (t.precise) {
+            didx = static_cast<i32>(t.map);
+            if (didx < 0 || static_cast<u64>(didx) >= totalData)
+                return fail("precise tag points out of range");
+            if (!dataAt(didx).valid || !dataAt(didx).precise)
+                return fail("precise tag points at invalid entry");
+            if (t.prev != -1 || t.next != -1)
+                return fail("precise tag has list links");
+            if (dataAt(didx).head != static_cast<i32>(i))
+                return fail("precise entry head mismatch");
+        } else {
+            didx = findDataByMap(t.map);
+            if (didx < 0)
+                return fail("tag's map has no data entry");
+        }
+        ++expected[static_cast<u64>(didx)];
+    }
+
+    // Pass 2: each data entry's list is consistent and complete.
+    for (u64 d = 0; d < totalData; ++d) {
+        const DataEntry &e = dataAt(static_cast<i32>(d));
+        if (!e.valid) {
+            if (expected[d] != 0)
+                return fail("tags point at an invalid data entry");
+            continue;
+        }
+        if (e.head < 0)
+            return fail("valid data entry with empty tag list");
+        u64 walked = 0;
+        i32 prev = -1;
+        for (i32 cur = e.head; cur >= 0; cur = tagAt(cur).next) {
+            const TagEntry &t = tagAt(cur);
+            if (!t.valid)
+                return fail("list contains an invalid tag");
+            if (t.prev != prev)
+                return fail("prev pointer inconsistent");
+            if (!e.precise &&
+                findDataByMap(t.map) != static_cast<i32>(d)) {
+                return fail("listed tag maps elsewhere");
+            }
+            prev = cur;
+            if (++walked > totalTags)
+                return fail("tag list cycle");
+        }
+        if (walked != expected[d])
+            return fail("list length disagrees with pointing tags");
+    }
+    return true;
+}
+
+std::optional<u64>
+DoppelgangerCache::mapOf(Addr addr) const
+{
+    const i32 tidx = findTag(addr);
+    if (tidx < 0 || tagAt(tidx).precise)
+        return std::nullopt;
+    return tagAt(tidx).map;
+}
+
+} // namespace dopp

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * The Doppelgänger cache (paper Sec 3): a last-level cache with
+ * decoupled tag and approximate data arrays in which tags of
+ * approximately similar blocks share a single data entry.
+ *
+ * Organization (Fig 4):
+ *  - *Tag array*: indexed by physical address like a conventional tag
+ *    array. Each entry holds the address tag, state/dirty bits, a map
+ *    value, and prev/next tag pointers forming a doubly-linked list of
+ *    all tags that share one data entry (Fig 5).
+ *  - *Approximate data array with MTag array*: indexed by the *map*
+ *    value — the low map bits select a set, the high bits are matched
+ *    against the stored map tags. Each data entry holds the map tag, a
+ *    pointer to the head of its tag list, and the 64 B data block.
+ *
+ * The same class also implements the unified uniDoppelgänger variant
+ * (Sec 3.8) when configured with `unified = true`: precise blocks get
+ * an exclusive data entry addressed through a direct pointer in the
+ * tag's map field, with prev/next permanently null.
+ */
+
+#ifndef DOPP_CORE_DOPPELGANGER_CACHE_HH
+#define DOPP_CORE_DOPPELGANGER_CACHE_HH
+
+#include <functional>
+#include <optional>
+
+#include "core/map_function.hh"
+#include "sim/llc.hh"
+#include "sim/set_assoc.hh"
+#include "util/types.hh"
+
+namespace dopp
+{
+
+/** Configuration of a Doppelgänger (or uniDoppelgänger) cache. */
+struct DoppConfig
+{
+    /** Tag-array entries; 16 K = "1 MB tag-equivalent" (Table 1). */
+    u32 tagEntries = 16 * 1024;
+    u32 tagWays = 16;
+
+    /** Data-array entries; 4 K = the paper's base 1/4 data array. */
+    u32 dataEntries = 4 * 1024;
+    u32 dataWays = 16;
+
+    /** Map-space size M (Table 1 default: 14-bit). */
+    unsigned mapBits = 14;
+
+    /** Hash-function selection (ablation; paper uses AvgAndRange). */
+    MapHashMode hashMode = MapHashMode::AvgAndRange;
+
+    /**
+     * Optional replacement for the map function. When set, it is used
+     * instead of computeMap(); the exact-deduplication baseline plugs a
+     * 64-bit content hash in here to share entries only between
+     * byte-identical blocks.
+     */
+    std::function<u64(const u8 *block, const MapParams &)> mapOverride;
+
+    /** Total hit latency in cycles (Table 1: 6). */
+    Tick hitLatency = 6;
+
+    /** uniDoppelgänger mode: precise blocks may reside here too. */
+    bool unified = false;
+
+    /**
+     * XOR-fold the whole map into the data-array set index instead of
+     * using the raw low map bits (the paper's Fig 4 uses the latter).
+     * Structured integer data can land every map on a few low-bit
+     * residues, leaving most sets idle; folding — standard practice for
+     * hashed cache indexing — restores set balance without changing
+     * which blocks share an entry. Ablate with bench_ablations.
+     */
+    bool hashDataSetIndex = true;
+
+    /** Annotation fallback for addresses without a registered region
+     * (standalone/unit-test use; split routing guarantees a region). */
+    ElemType defaultType = ElemType::F32;
+    double defaultMin = 0.0;
+    double defaultMax = 1.0;
+
+    ReplPolicy tagPolicy = ReplPolicy::LRU;
+    ReplPolicy dataPolicy = ReplPolicy::LRU;
+
+    /**
+     * Tag-count-aware data replacement: evict the data entry with the
+     * fewest linked tags (fewest back-invalidations and writebacks),
+     * breaking ties by the base policy's choice. The paper suggests
+     * exactly this as future work (Sec 3.5: "a more specialized
+     * replacement algorithm could take into account ... the number of
+     * tags associated to a data entry"). Ablate with bench_ablations.
+     */
+    bool tagCountAwareData = false;
+};
+
+/**
+ * Doppelgänger LLC implementation.
+ *
+ * Faithfully implements the paper's operational semantics:
+ *  - Lookups (Sec 3.2): sequential tag-array then MTag-array probe; a
+ *    tag hit guarantees an MTag hit.
+ *  - Insertions (Sec 3.3): data is forwarded to the upper levels
+ *    immediately (the requester sees the *fetched* values); map
+ *    generation and data-array placement happen off the critical path.
+ *    If a similar block exists the new tag joins its list and the
+ *    fetched data is dropped; otherwise a data victim is evicted along
+ *    with every tag linked to it.
+ *  - Writes (Sec 3.4): writebacks recompute the map. An unchanged map
+ *    only sets the tag's dirty bit; a changed map moves the tag to the
+ *    new map's list (the written values are dropped if a similar block
+ *    already exists there).
+ *  - Replacements (Sec 3.5): per-tag dirty bits; evicting a data entry
+ *    evicts and writes back all linked tags; a sole tag's eviction
+ *    frees its data entry. LRU in both arrays by default.
+ */
+class DoppelgangerCache : public LastLevelCache
+{
+  public:
+    /**
+     * @param memory backing store
+     * @param config geometry and behaviour knobs
+     * @param registry annotation registry for element types/ranges;
+     *                 may be nullptr (defaults apply to every block)
+     */
+    DoppelgangerCache(MainMemory &memory, const DoppConfig &config,
+                      const ApproxRegistry *registry);
+
+    FetchResult fetch(Addr addr, u8 *data) override;
+    void writeback(Addr addr, const u8 *data) override;
+    bool contains(Addr addr) const override;
+    void forEachBlock(
+        const std::function<void(const LlcBlockInfo &)> &visit)
+        const override;
+    void flush() override;
+
+    const char *
+    name() const override
+    {
+        return cfg.unified ? "uniDoppelganger" : "doppelganger";
+    }
+
+    /** @name Introspection (tests, stats, examples) */
+    /// @{
+
+    /** Number of valid tag entries. */
+    u64 tagCount() const { return tags.validCount(); }
+
+    /** Number of valid data entries. */
+    u64 dataCount() const { return data.validCount(); }
+
+    /** Tags currently linked to @p addr's data entry (0 if absent). */
+    unsigned tagsSharingWith(Addr addr) const;
+
+    /** Whether two resident blocks share one data entry. */
+    bool sameDataEntry(Addr a, Addr b) const;
+
+    /** The 64 B the cache would serve for @p addr (nullptr if absent). */
+    const u8 *peekBlock(Addr addr) const;
+
+    /** Map value stored for @p addr's tag (nullopt if absent/precise). */
+    std::optional<u64> mapOf(Addr addr) const;
+
+    const DoppConfig &config() const { return cfg; }
+
+    /**
+     * Exhaustive structural invariant check (tests):
+     *  - every valid tag's map resolves to a valid data entry;
+     *  - walking each data entry's list visits exactly the valid tags
+     *    whose map points at it, with consistent prev/next links;
+     *  - every valid approximate data entry has a non-empty list;
+     *  - precise tags (unified mode) have null prev/next and own their
+     *    entry exclusively.
+     * @param why receives a description of the first violation.
+     * @return true iff all invariants hold.
+     */
+    bool checkInvariants(std::string *why = nullptr) const;
+    /// @}
+
+  private:
+    /** Tag-array entry (77 bits in hardware, Table 3). */
+    struct TagEntry
+    {
+        bool valid = false;
+        u64 tag = 0;        ///< address tag
+        bool dirty = false; ///< per-tag dirty bit (Sec 3.4)
+        bool precise = false; ///< uniDoppelgänger precise/approx bit
+        u64 map = 0;        ///< map value, or direct index if precise
+        i32 prev = -1;      ///< previous tag in the shared-data list
+        i32 next = -1;      ///< next tag in the shared-data list
+    };
+
+    /** Data-array entry with its MTag fields (Fig 4 right side). */
+    struct DataEntry
+    {
+        bool valid = false;
+        u64 tag = 0;        ///< full map value (block address if precise)
+        bool precise = false;
+        i32 head = -1;      ///< tag pointer to the list head
+        BlockData data = {};
+    };
+
+    /** Flattened tag-entry index: set * ways + way. */
+    i32 tagIndex(u32 set, u32 way) const;
+    TagEntry &tagAt(i32 idx);
+    const TagEntry &tagAt(i32 idx) const;
+    Addr tagAddr(i32 idx) const;
+
+    /** Locate @p addr's tag entry. @return index or -1. */
+    i32 findTag(Addr addr) const;
+
+    /** Data-array set a map value indexes. */
+    u32 dataSetOfMap(u64 map) const;
+
+    /** Locate the data entry matching @p map. @return flattened index
+     * (set * ways + way) or -1. */
+    i32 findDataByMap(u64 map) const;
+    DataEntry &dataAt(i32 idx);
+    const DataEntry &dataAt(i32 idx) const;
+
+    /** Data entry a (valid) tag currently points at. */
+    i32 dataIndexOfTag(const TagEntry &t) const;
+
+    /** Map parameters (type/range/M) for a block address. */
+    MapParams paramsFor(Addr addr) const;
+
+    /** Compute the map of @p bytes at @p addr, honoring mapOverride. */
+    u64 mapFor(Addr addr, const u8 *bytes) const;
+
+    /** Insert @p tag_idx at the head of data entry @p data_idx's list. */
+    void linkHead(i32 tag_idx, i32 data_idx);
+
+    /** Remove @p tag_idx from its list. @return true iff the list is
+     * now empty (caller decides the data entry's fate). */
+    bool unlink(i32 tag_idx, i32 data_idx);
+
+    /** Evict the data entry at @p data_idx: write back and invalidate
+     * every linked tag (Sec 3.5). */
+    void evictDataEntry(i32 data_idx);
+
+    /** Evict a single tag entry, freeing its data entry if sole. */
+    void evictTagEntry(i32 tag_idx);
+
+    /** Write @p tag_idx's block back to memory if needed (on evict).
+     * Private dirty copies supersede the shared data entry. */
+    void writebackTag(i32 tag_idx, const DataEntry &entry);
+
+    /** Number of tags on the list of data entry @p data_idx, counting
+     * at most @p cap (enough to compare victims cheaply). */
+    u64 linkedTagCount(i32 data_idx, u64 cap = 64) const;
+
+    /** Allocate (evicting as needed) a data entry in @p set. */
+    i32 allocateDataEntry(u32 set);
+
+    /** Handle the off-critical-path part of a fetch miss (Sec 3.3). */
+    void insertBlock(Addr addr, const u8 *bytes);
+
+    DoppConfig cfg;
+    const ApproxRegistry *registry;
+
+    SetAssocArray<TagEntry> tags;
+    AddrSlicer tagSlicer;
+
+    SetAssocArray<DataEntry> data;
+};
+
+} // namespace dopp
+
+#endif // DOPP_CORE_DOPPELGANGER_CACHE_HH

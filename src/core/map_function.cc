@@ -1,0 +1,142 @@
+#include "map_function.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace dopp
+{
+
+namespace
+{
+
+/**
+ * Linear binning of Sec 3.7 step 2: divide [lo, hi] into 2^bits
+ * equally-spaced bins; lo maps to 0 and hi to 2^bits − 1.
+ */
+u64
+binHash(double hash, double lo, double hi, unsigned bits)
+{
+    const double span = std::max(hi - lo, 1e-30);
+    double t = (hash - lo) / span;
+    t = std::clamp(t, 0.0, 1.0);
+    const double scaled = t * static_cast<double>(1ULL << bits);
+    u64 bin = static_cast<u64>(scaled);
+    const u64 maxBin = (1ULL << bits) - 1;
+    return std::min(bin, maxBin);
+}
+
+/** Clamp a runtime value into the declared range (Sec 4.1); NaNs are
+ * treated as the minimum. */
+double
+clampValue(double v, double lo, double hi)
+{
+    if (std::isnan(v))
+        return lo;
+    return std::clamp(v, lo, hi);
+}
+
+} // namespace
+
+MapComponents
+computeMapComponents(const u8 *block, const MapParams &params,
+                     MapHashMode mode)
+{
+    DOPP_ASSERT(params.mapBits >= 1 && params.mapBits <= 30);
+
+    const unsigned n = elemsPerBlock(params.type);
+    const double lo = params.minValue;
+    const double hi = params.maxValue;
+
+    MapComponents out;
+
+    double sum = 0.0;
+    double mn = clampValue(blockElement(block, params.type, 0), lo, hi);
+    double mx = mn;
+    for (unsigned i = 0; i < n; ++i) {
+        const double v =
+            clampValue(blockElement(block, params.type, i), lo, hi);
+        sum += v;
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+    }
+    out.avgHash = sum / static_cast<double>(n);
+    out.rangeHash = mx - mn;
+
+    const unsigned M = params.mapBits;
+    // Sec 3.7: if M exceeds the element width, binning would leave the
+    // low map bits always zero; skip the mapping and use the hash.
+    const bool bypass = M > elemBits(params.type);
+    const unsigned fullBits = bypass ? elemBits(params.type) : M;
+
+    u64 avgMap;
+    u64 rangeFull;
+    if (bypass) {
+        // Integer hash used directly (truncated toward zero).
+        avgMap = static_cast<u64>(out.avgHash - lo);
+        rangeFull = static_cast<u64>(out.rangeHash);
+        const u64 cap = lowMask(fullBits);
+        avgMap = std::min(avgMap, cap);
+        rangeFull = std::min(rangeFull, cap);
+    } else {
+        avgMap = binHash(out.avgHash, lo, hi, fullBits);
+        rangeFull = binHash(out.rangeHash, 0.0, hi - lo, fullBits);
+    }
+
+    // Keep only the upper ⌈M/2⌉ bits of the range map (footnote 4).
+    const unsigned rangeKeep = std::min((M + 1) / 2, fullBits);
+    const u64 rangeMap = rangeFull >> (fullBits - rangeKeep);
+
+    switch (mode) {
+      case MapHashMode::AvgAndRange:
+        out.avgMap = avgMap;
+        out.rangeMap = rangeMap;
+        out.avgBits = fullBits;
+        out.rangeBits = rangeKeep;
+        out.combined = (rangeMap << fullBits) | avgMap;
+        break;
+      case MapHashMode::AvgOnly:
+        out.avgMap = avgMap;
+        out.rangeMap = 0;
+        out.avgBits = fullBits;
+        out.rangeBits = 0;
+        out.combined = avgMap;
+        break;
+      case MapHashMode::RangeOnly:
+        out.avgMap = 0;
+        out.rangeMap = rangeMap;
+        out.avgBits = 0;
+        out.rangeBits = rangeKeep;
+        out.combined = rangeMap;
+        break;
+    }
+    return out;
+}
+
+u64
+computeMap(const u8 *block, const MapParams &params, MapHashMode mode)
+{
+    return computeMapComponents(block, params, mode).combined;
+}
+
+unsigned
+mapWidth(const MapParams &params, MapHashMode mode)
+{
+    const unsigned M = params.mapBits;
+    const bool bypass = M > elemBits(params.type);
+    const unsigned fullBits = bypass ? elemBits(params.type) : M;
+    const unsigned rangeKeep = std::min((M + 1) / 2, fullBits);
+    switch (mode) {
+      case MapHashMode::AvgAndRange:
+        return fullBits + rangeKeep;
+      case MapHashMode::AvgOnly:
+        return fullBits;
+      case MapHashMode::RangeOnly:
+        return rangeKeep;
+    }
+    return fullBits + rangeKeep;
+}
+
+} // namespace dopp

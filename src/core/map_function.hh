@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Approximate-similarity map generation (paper Sec 3.7).
+ *
+ * A map value identifies approximately similar blocks: blocks with equal
+ * maps share one data-array entry. Generation is a two-step process:
+ *
+ *  1. *Hash*: two hash functions over the block's elements — the
+ *     element average and the element range (max − min). Values are
+ *     first clamped to the programmer-declared [min, max].
+ *  2. *Mapping*: each hash is linearly mapped from its value range into
+ *     an M-bit integer (min → 0, max → 2^M − 1), i.e. the hash space is
+ *     divided into 2^M equally-spaced bins. If M exceeds the element's
+ *     bit width the mapping is skipped and the hash is used directly.
+ *
+ * The final map concatenates the M-bit average map (low bits) with the
+ * upper ⌈M/2⌉ bits of the range map (high bits); for M = 14 and
+ * floating-point data this is the paper's 21-bit map field (Table 3).
+ */
+
+#ifndef DOPP_CORE_MAP_FUNCTION_HH
+#define DOPP_CORE_MAP_FUNCTION_HH
+
+#include "sim/approx.hh"
+#include "util/types.hh"
+
+namespace dopp
+{
+
+/** Parameters of one map computation. */
+struct MapParams
+{
+    unsigned mapBits = 14;          ///< M, the map-space size knob
+    ElemType type = ElemType::F32;  ///< annotated element type
+    double minValue = 0.0;          ///< declared range minimum
+    double maxValue = 1.0;          ///< declared range maximum
+};
+
+/** Which hash functions contribute to the map (ablation knob). */
+enum class MapHashMode : u8
+{
+    AvgAndRange, ///< the paper's design: average low bits, range high
+    AvgOnly,     ///< only the average hash
+    RangeOnly,   ///< only the range hash
+};
+
+/** Intermediate and final values of one map computation, for tests
+ * and characterization. */
+struct MapComponents
+{
+    double avgHash = 0.0;    ///< average of clamped elements
+    double rangeHash = 0.0;  ///< max − min of clamped elements
+    u64 avgMap = 0;          ///< binned average
+    u64 rangeMap = 0;        ///< binned range, already truncated
+    unsigned avgBits = 0;    ///< width of avgMap in the combined map
+    unsigned rangeBits = 0;  ///< width of rangeMap in the combined map
+    u64 combined = 0;        ///< (rangeMap << avgBits) | avgMap
+};
+
+/**
+ * Compute the full component breakdown of the map of a 64 B block.
+ * @param block the 64 raw bytes
+ * @param params map-space and annotation parameters
+ * @param mode hash-function selection (default: the paper's design)
+ */
+MapComponents computeMapComponents(
+    const u8 *block, const MapParams &params,
+    MapHashMode mode = MapHashMode::AvgAndRange);
+
+/** Compute just the final map value of a 64 B block. */
+u64 computeMap(const u8 *block, const MapParams &params,
+               MapHashMode mode = MapHashMode::AvgAndRange);
+
+/** Total bit width of maps produced under @p params and @p mode. */
+unsigned mapWidth(const MapParams &params,
+                  MapHashMode mode = MapHashMode::AvgAndRange);
+
+/**
+ * Number of multiply-add operations charged per map generation for the
+ * energy model: the paper conservatively assumes 21 FP ops per 64 B
+ * block (Sec 5.6) at 8 pJ each.
+ */
+constexpr unsigned mapGenFlops = 21;
+
+/** Energy per map generation in pJ (Sec 5.6: 21 ops × 8 pJ = 168 pJ). */
+constexpr double mapGenEnergyPj = mapGenFlops * 8.0;
+
+} // namespace dopp
+
+#endif // DOPP_CORE_MAP_FUNCTION_HH

@@ -1,0 +1,101 @@
+#include "split_llc.hh"
+
+namespace dopp
+{
+
+LlcStats
+addStats(const LlcStats &a, const LlcStats &b)
+{
+    LlcStats s;
+    s.fetches = a.fetches + b.fetches;
+    s.fetchHits = a.fetchHits + b.fetchHits;
+    s.fetchMisses = a.fetchMisses + b.fetchMisses;
+    s.writebacksIn = a.writebacksIn + b.writebacksIn;
+    s.evictions = a.evictions + b.evictions;
+    s.dataEvictions = a.dataEvictions + b.dataEvictions;
+    s.dirtyWritebacks = a.dirtyWritebacks + b.dirtyWritebacks;
+    s.backInvalidations = a.backInvalidations + b.backInvalidations;
+    s.tagArray.reads = a.tagArray.reads + b.tagArray.reads;
+    s.tagArray.writes = a.tagArray.writes + b.tagArray.writes;
+    s.mtagArray.reads = a.mtagArray.reads + b.mtagArray.reads;
+    s.mtagArray.writes = a.mtagArray.writes + b.mtagArray.writes;
+    s.dataArray.reads = a.dataArray.reads + b.dataArray.reads;
+    s.dataArray.writes = a.dataArray.writes + b.dataArray.writes;
+    s.mapGens = a.mapGens + b.mapGens;
+    s.linkedTagsSum = a.linkedTagsSum + b.linkedTagsSum;
+    s.linkedTagsSamples = a.linkedTagsSamples + b.linkedTagsSamples;
+    return s;
+}
+
+SplitLlc::SplitLlc(MainMemory &memory, const SplitLlcConfig &config,
+                   const ApproxRegistry &registry)
+    : LastLevelCache(memory), registry(registry)
+{
+    preciseHalf = std::make_unique<ConventionalLlc>(
+        memory, config.preciseBytes, config.preciseWays,
+        config.preciseLatency, &registry);
+    doppHalf = std::make_unique<DoppelgangerCache>(memory, config.dopp,
+                                                   &registry);
+}
+
+void
+SplitLlc::setBackInvalidate(BackInvalidateFn fn)
+{
+    preciseHalf->setBackInvalidate(fn);
+    doppHalf->setBackInvalidate(fn);
+}
+
+LastLevelCache::FetchResult
+SplitLlc::fetch(Addr addr, u8 *data)
+{
+    if (registry.isApprox(addr))
+        return doppHalf->fetch(addr, data);
+    return preciseHalf->fetch(addr, data);
+}
+
+void
+SplitLlc::writeback(Addr addr, const u8 *data)
+{
+    if (registry.isApprox(addr))
+        doppHalf->writeback(addr, data);
+    else
+        preciseHalf->writeback(addr, data);
+}
+
+bool
+SplitLlc::contains(Addr addr) const
+{
+    return registry.isApprox(addr) ? doppHalf->contains(addr)
+                                   : preciseHalf->contains(addr);
+}
+
+void
+SplitLlc::forEachBlock(
+    const std::function<void(const LlcBlockInfo &)> &visit) const
+{
+    preciseHalf->forEachBlock(visit);
+    doppHalf->forEachBlock(visit);
+}
+
+void
+SplitLlc::flush()
+{
+    preciseHalf->flush();
+    doppHalf->flush();
+}
+
+const LlcStats &
+SplitLlc::stats() const
+{
+    combined = addStats(preciseHalf->stats(), doppHalf->stats());
+    return combined;
+}
+
+void
+SplitLlc::resetStats()
+{
+    preciseHalf->resetStats();
+    doppHalf->resetStats();
+}
+
+} // namespace dopp

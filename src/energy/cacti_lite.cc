@@ -1,0 +1,108 @@
+#include "cacti_lite.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dopp
+{
+
+double
+PowerLaw::eval(double kb) const
+{
+    if (kb <= 0.0)
+        return 0.0;
+    return a * std::pow(kb, b);
+}
+
+PowerLaw
+fitPowerLaw(const std::vector<std::pair<double, double>> &pts)
+{
+    DOPP_ASSERT(pts.size() >= 2);
+    // Ordinary least squares on (ln x, ln y).
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    const double n = static_cast<double>(pts.size());
+    for (const auto &[x, y] : pts) {
+        DOPP_ASSERT(x > 0 && y > 0);
+        const double lx = std::log(x);
+        const double ly = std::log(y);
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    PowerLaw law;
+    law.b = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    law.a = std::exp((sy - law.b * sx) / n);
+    return law;
+}
+
+namespace
+{
+
+// Table 3 anchor points as (capacity KB, value). Tag-like structures:
+// the four cache tag arrays plus the two standalone tag arrays; the
+// area of data-bearing structures is decomposed by subtracting the
+// fitted tag-part area (see DESIGN.md).
+const std::vector<std::pair<double, double>> tagLatAnchors = {
+    {19, 0.30}, {56, 0.45}, {76, 0.51}, {108, 0.61}, {154, 0.48},
+    {316, 0.74},
+};
+const std::vector<std::pair<double, double>> tagEnergyAnchors = {
+    {19, 6.3}, {56, 13.5}, {76, 18.7}, {108, 24.8}, {154, 30.8},
+    {316, 61.3},
+};
+const std::vector<std::pair<double, double>> tagAreaAnchors = {
+    {154, 0.19}, {316, 0.40},
+};
+const std::vector<std::pair<double, double>> dataLatAnchors = {
+    {256, 0.67}, {1024, 1.07}, {2048, 1.27},
+};
+const std::vector<std::pair<double, double>> dataEnergyAnchors = {
+    {256, 80.3}, {1024, 322.7}, {2048, 667.4},
+};
+// Data-part areas after subtracting the fitted tag-part area from the
+// Table 3 totals (4.12, 1.91, 0.47, 1.95 mm^2).
+const std::vector<std::pair<double, double>> dataAreaAnchors = {
+    {256, 0.448}, {1024, 1.843}, {1024, 1.858}, {2048, 3.988},
+};
+
+} // namespace
+
+CactiLite::CactiLite()
+{
+    tagAreaFit = fitPowerLaw(tagAreaAnchors);
+    tagLatFit = fitPowerLaw(tagLatAnchors);
+    tagEnergyFit = fitPowerLaw(tagEnergyAnchors);
+    dataAreaFit = fitPowerLaw(dataAreaAnchors);
+    dataLatFit = fitPowerLaw(dataLatAnchors);
+    dataEnergyFit = fitPowerLaw(dataEnergyAnchors);
+}
+
+SramCost
+CactiLite::cost(double bits, const PowerLaw &area, const PowerLaw &lat,
+                const PowerLaw &energy) const
+{
+    SramCost c;
+    c.sizeKb = bits / 8.0 / 1024.0;
+    c.areaMm2 = area.eval(c.sizeKb);
+    c.latencyNs = lat.eval(c.sizeKb);
+    c.readEnergyPj = energy.eval(c.sizeKb);
+    c.writeEnergyPj = c.readEnergyPj * writeEnergyFactor;
+    c.leakageMw = leakageMwPerKb * c.sizeKb;
+    return c;
+}
+
+SramCost
+CactiLite::tagArray(double bits) const
+{
+    return cost(bits, tagAreaFit, tagLatFit, tagEnergyFit);
+}
+
+SramCost
+CactiLite::dataArray(double bits) const
+{
+    return cost(bits, dataAreaFit, dataLatFit, dataEnergyFit);
+}
+
+} // namespace dopp

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * CactiLite: an analytical SRAM area/latency/energy model at 32 nm.
+ *
+ * The paper uses CACTI 5.1 [35]; we do not have it, so we substitute a
+ * small analytical model *calibrated to the very CACTI numbers the
+ * paper publishes* (Table 3): per-category power-law fits
+ * (cost = a · capacityKB^b) are least-squares fitted in log-log space
+ * to the Table 3 anchor points at construction time. Structures are
+ * costed as a tag-like part (wide comparators, small rows) plus a
+ * data-like part (512-bit rows), the same decomposition Table 3
+ * reports. Leakage power is modeled as proportional to storage
+ * capacity, which reproduces the paper's 1.41× LLC leakage reduction;
+ * its absolute scale (mW/KB) is a documented constant since the paper
+ * only reports ratios.
+ */
+
+#ifndef DOPP_ENERGY_CACTI_LITE_HH
+#define DOPP_ENERGY_CACTI_LITE_HH
+
+#include <vector>
+
+#include "util/types.hh"
+
+namespace dopp
+{
+
+/** A fitted power law cost(KB) = a · KB^b. */
+struct PowerLaw
+{
+    double a = 0.0;
+    double b = 1.0;
+
+    double eval(double kb) const;
+};
+
+/** Fit a power law to (capacityKB, cost) anchors in log-log space. */
+PowerLaw fitPowerLaw(const std::vector<std::pair<double, double>> &pts);
+
+/** Cost figures for one SRAM subarray. */
+struct SramCost
+{
+    double sizeKb = 0.0;
+    double areaMm2 = 0.0;
+    double latencyNs = 0.0;
+    double readEnergyPj = 0.0;
+    double writeEnergyPj = 0.0;
+    double leakageMw = 0.0;
+};
+
+/**
+ * The calibrated model. One instance is cheap; construct and query.
+ */
+class CactiLite
+{
+  public:
+    CactiLite();
+
+    /** Cost a tag-like subarray of @p bits total storage. */
+    SramCost tagArray(double bits) const;
+
+    /** Cost a data-like subarray (512-bit rows) of @p bits storage. */
+    SramCost dataArray(double bits) const;
+
+    /** Leakage power scale in mW per KB of SRAM (documented constant;
+     * the paper reports only leakage *ratios*, which are scale-free). */
+    static constexpr double leakageMwPerKb = 0.3;
+
+    /** Write energy premium over reads (CACTI reports writes within a
+     * few percent of reads for these geometries). */
+    static constexpr double writeEnergyFactor = 1.05;
+
+  private:
+    SramCost cost(double bits, const PowerLaw &area, const PowerLaw &lat,
+                  const PowerLaw &energy) const;
+
+    PowerLaw tagAreaFit;
+    PowerLaw tagLatFit;
+    PowerLaw tagEnergyFit;
+    PowerLaw dataAreaFit;
+    PowerLaw dataLatFit;
+    PowerLaw dataEnergyFit;
+};
+
+} // namespace dopp
+
+#endif // DOPP_ENERGY_CACTI_LITE_HH

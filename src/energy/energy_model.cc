@@ -1,0 +1,75 @@
+#include "energy_model.hh"
+
+namespace dopp
+{
+
+double
+EnergyModel::arrayPj(const SramCost &cost, const ArrayCounters &c)
+{
+    return cost.readEnergyPj * static_cast<double>(c.reads) +
+        cost.writeEnergyPj * static_cast<double>(c.writes);
+}
+
+double
+EnergyModel::leakagePj(const LlcCost &llc, Tick cycles)
+{
+    // 1 GHz: one cycle is 1 ns; P[mW] × t[ns] = E[pJ].
+    return llc.leakageMw * static_cast<double>(cycles);
+}
+
+EnergyResult
+EnergyModel::baseline(const LlcStats &stats, Tick cycles, u64 entries,
+                      u32 ways) const
+{
+    const LlcCost llc = baselineLlcCost(model, entries, ways);
+    const StructureCost &s = llc.structures.front();
+
+    EnergyResult r;
+    r.dynamicPj = arrayPj(s.tagPart, stats.tagArray) +
+        arrayPj(s.dataPart, stats.dataArray);
+    r.leakagePj = leakagePj(llc, cycles);
+    return r;
+}
+
+EnergyResult
+EnergyModel::split(const LlcStats &precise, const LlcStats &dopp,
+                   const DoppConfig &cfg, Tick cycles, u64 precise_entries,
+                   u32 precise_ways) const
+{
+    const LlcCost llc =
+        splitLlcCost(model, precise_entries, precise_ways, cfg);
+    const StructureCost &pc = llc.structures[0];
+    const StructureCost &tag = llc.structures[1];
+    const StructureCost &dat = llc.structures[2];
+
+    EnergyResult r;
+    r.dynamicPj = arrayPj(pc.tagPart, precise.tagArray) +
+        arrayPj(pc.dataPart, precise.dataArray) +
+        arrayPj(tag.tagPart, dopp.tagArray) +
+        arrayPj(dat.tagPart, dopp.mtagArray) +
+        arrayPj(dat.dataPart, dopp.dataArray);
+    r.mapGenPj = mapGenEnergyPj * static_cast<double>(dopp.mapGens);
+    r.dynamicPj += r.mapGenPj;
+    r.leakagePj = leakagePj(llc, cycles);
+    return r;
+}
+
+EnergyResult
+EnergyModel::unified(const LlcStats &stats, const DoppConfig &cfg,
+                     Tick cycles) const
+{
+    const LlcCost llc = uniLlcCost(model, cfg);
+    const StructureCost &tag = llc.structures[0];
+    const StructureCost &dat = llc.structures[1];
+
+    EnergyResult r;
+    r.dynamicPj = arrayPj(tag.tagPart, stats.tagArray) +
+        arrayPj(dat.tagPart, stats.mtagArray) +
+        arrayPj(dat.dataPart, stats.dataArray);
+    r.mapGenPj = mapGenEnergyPj * static_cast<double>(stats.mapGens);
+    r.dynamicPj += r.mapGenPj;
+    r.leakagePj = leakagePj(llc, cycles);
+    return r;
+}
+
+} // namespace dopp

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * LLC energy accounting (paper Sec 5.3, 5.6): per-structure access
+ * counts from the simulation × CactiLite per-access energies, plus the
+ * 168 pJ map-generation cost, plus leakage power × runtime.
+ */
+
+#ifndef DOPP_ENERGY_ENERGY_MODEL_HH
+#define DOPP_ENERGY_ENERGY_MODEL_HH
+
+#include "core/doppelganger_cache.hh"
+#include "energy/hardware_cost.hh"
+#include "sim/llc.hh"
+
+namespace dopp
+{
+
+/** Energy of one run of one LLC organization. */
+struct EnergyResult
+{
+    double dynamicPj = 0.0;  ///< total switching energy
+    double leakagePj = 0.0;  ///< leakage over the measured runtime
+    double mapGenPj = 0.0;   ///< portion of dynamicPj spent hashing
+
+    double totalPj() const { return dynamicPj + leakagePj; }
+};
+
+/**
+ * Converts LLC statistics into energy for the three organizations the
+ * paper evaluates. Core clock is 1 GHz (Table 1), so cycles = ns.
+ */
+class EnergyModel
+{
+  public:
+    EnergyModel() = default;
+
+    /** Baseline conventional LLC energy. */
+    EnergyResult baseline(const LlcStats &stats, Tick cycles,
+                          u64 entries = 32 * 1024, u32 ways = 16) const;
+
+    /**
+     * Split organization energy: @p precise and @p dopp are the two
+     * halves' stats, @p cfg the Doppelgänger geometry.
+     */
+    EnergyResult split(const LlcStats &precise, const LlcStats &dopp,
+                       const DoppConfig &cfg, Tick cycles,
+                       u64 precise_entries = 16 * 1024,
+                       u32 precise_ways = 16) const;
+
+    /** uniDoppelgänger energy. */
+    EnergyResult unified(const LlcStats &stats, const DoppConfig &cfg,
+                         Tick cycles) const;
+
+    const CactiLite &cacti() const { return model; }
+
+  private:
+    /** read/write counters × a subarray's per-access energies. */
+    static double arrayPj(const SramCost &cost, const ArrayCounters &c);
+
+    /** leakage of @p llc over @p cycles ns. */
+    static double leakagePj(const LlcCost &llc, Tick cycles);
+
+    CactiLite model;
+};
+
+} // namespace dopp
+
+#endif // DOPP_ENERGY_ENERGY_MODEL_HH

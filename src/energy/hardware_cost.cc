@@ -1,0 +1,158 @@
+#include "hardware_cost.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace dopp
+{
+
+namespace
+{
+
+/** Address-tag width of a block-grained structure with @p sets sets. */
+unsigned
+addrTagBits(u64 sets, const CostParams &params)
+{
+    return params.addrBits - blockOffsetBits - floorLog2(sets);
+}
+
+/** Total combined map width (Sec 3.7: M bits average + ⌈M/2⌉ range). */
+unsigned
+mapFieldBits(unsigned map_bits)
+{
+    return map_bits + (map_bits + 1) / 2;
+}
+
+/** Fill the aggregate fields of @p llc from its structure list. */
+void
+finalize(LlcCost &llc)
+{
+    llc.totalAreaMm2 = llc.fpuAreaMm2;
+    llc.totalKb = 0.0;
+    llc.leakageMw = 0.0;
+    for (const auto &s : llc.structures) {
+        llc.totalAreaMm2 += s.areaMm2;
+        llc.totalKb += s.totalKb;
+        llc.leakageMw += s.tagPart.leakageMw + s.dataPart.leakageMw;
+    }
+}
+
+} // namespace
+
+StructureCost
+conventionalCost(const CactiLite &cacti, const std::string &name,
+                 u64 entries, u32 ways, const CostParams &params)
+{
+    StructureCost c;
+    c.name = name;
+    c.entries = entries;
+    const u64 sets = entries / ways;
+    // Table 3 baseline: tag 15 + coherence 4 + full-map 4 + repl 4.
+    c.tagEntryBits = addrTagBits(sets, params) + params.coherenceBits +
+        params.cores + floorLog2(ways);
+    c.dataEntryBits = blockBytes * 8;
+    c.tagPart = cacti.tagArray(
+        static_cast<double>(entries) * c.tagEntryBits);
+    c.dataPart = cacti.dataArray(
+        static_cast<double>(entries) * c.dataEntryBits);
+    c.totalKb = c.tagPart.sizeKb + c.dataPart.sizeKb;
+    c.areaMm2 = c.tagPart.areaMm2 + c.dataPart.areaMm2;
+    return c;
+}
+
+StructureCost
+doppTagCost(const CactiLite &cacti, const std::string &name,
+            const DoppConfig &cfg, const CostParams &params)
+{
+    StructureCost c;
+    c.name = name;
+    c.entries = cfg.tagEntries;
+    const u64 sets = cfg.tagEntries / cfg.tagWays;
+    // Table 3: tag + coherence + full-map + repl + 2 tag pointers +
+    // map field (+ precise/approximate bit when unified).
+    c.tagEntryBits = addrTagBits(sets, params) + params.coherenceBits +
+        params.cores + floorLog2(cfg.tagWays) +
+        2 * ceilLog2(cfg.tagEntries) + mapFieldBits(cfg.mapBits) +
+        (cfg.unified ? 1 : 0);
+    c.dataEntryBits = 0;
+    c.tagPart = cacti.tagArray(
+        static_cast<double>(cfg.tagEntries) * c.tagEntryBits);
+    c.totalKb = c.tagPart.sizeKb;
+    c.areaMm2 = c.tagPart.areaMm2;
+    return c;
+}
+
+StructureCost
+doppDataCost(const CactiLite &cacti, const std::string &name,
+             const DoppConfig &cfg, const CostParams &params)
+{
+    (void)params;
+    StructureCost c;
+    c.name = name;
+    c.entries = cfg.dataEntries;
+    const u64 sets = cfg.dataEntries / cfg.dataWays;
+    const unsigned setBits = floorLog2(sets);
+    // MTag entry per Table 3: a map tag sized so that the average map's
+    // non-index bits plus the full range map are stored (reproducing
+    // the published 20-/18-bit tag fields), plus replacement bits and
+    // the tag pointer to the list head (+ precise bit when unified).
+    const unsigned avgTagBits =
+        cfg.mapBits > setBits ? cfg.mapBits - setBits : 0;
+    c.tagEntryBits = avgTagBits + cfg.mapBits + floorLog2(cfg.dataWays) +
+        ceilLog2(cfg.tagEntries) + (cfg.unified ? 1 : 0);
+    c.dataEntryBits = blockBytes * 8;
+    c.tagPart = cacti.tagArray(
+        static_cast<double>(cfg.dataEntries) * c.tagEntryBits);
+    c.dataPart = cacti.dataArray(
+        static_cast<double>(cfg.dataEntries) * c.dataEntryBits);
+    c.totalKb = c.tagPart.sizeKb + c.dataPart.sizeKb;
+    c.areaMm2 = c.tagPart.areaMm2 + c.dataPart.areaMm2;
+    return c;
+}
+
+LlcCost
+baselineLlcCost(const CactiLite &cacti, u64 entries, u32 ways,
+                const CostParams &params)
+{
+    LlcCost llc;
+    llc.name = "baseline";
+    llc.structures.push_back(
+        conventionalCost(cacti, "baseline LLC", entries, ways, params));
+    finalize(llc);
+    return llc;
+}
+
+LlcCost
+splitLlcCost(const CactiLite &cacti, u64 precise_entries, u32 precise_ways,
+             const DoppConfig &dopp, const CostParams &params)
+{
+    LlcCost llc;
+    llc.name = "split-doppelganger";
+    llc.structures.push_back(conventionalCost(
+        cacti, "precise cache", precise_entries, precise_ways, params));
+    llc.structures.push_back(
+        doppTagCost(cacti, "doppelganger tag array", dopp, params));
+    llc.structures.push_back(
+        doppDataCost(cacti, "doppelganger data array", dopp, params));
+    llc.fpuAreaMm2 = mapGenFpuCount * mapGenFpuAreaMm2;
+    finalize(llc);
+    return llc;
+}
+
+LlcCost
+uniLlcCost(const CactiLite &cacti, const DoppConfig &uni,
+           const CostParams &params)
+{
+    DOPP_ASSERT(uni.unified);
+    LlcCost llc;
+    llc.name = "uniDoppelganger";
+    llc.structures.push_back(
+        doppTagCost(cacti, "uniDoppelganger tag array", uni, params));
+    llc.structures.push_back(
+        doppDataCost(cacti, "uniDoppelganger data array", uni, params));
+    llc.fpuAreaMm2 = mapGenFpuCount * mapGenFpuAreaMm2;
+    finalize(llc);
+    return llc;
+}
+
+} // namespace dopp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Hardware cost accounting (paper Sec 5.6, Table 3): per-structure
+ * entry bit widths computed from first principles, total storage, and
+ * CactiLite-derived area/latency/energy. Also aggregates whole-LLC
+ * organizations for the Fig 13 area comparison and the energy model.
+ */
+
+#ifndef DOPP_ENERGY_HARDWARE_COST_HH
+#define DOPP_ENERGY_HARDWARE_COST_HH
+
+#include <string>
+#include <vector>
+
+#include "core/doppelganger_cache.hh"
+#include "energy/cacti_lite.hh"
+#include "util/types.hh"
+
+namespace dopp
+{
+
+/** System-level constants entering metadata widths. */
+struct CostParams
+{
+    unsigned addrBits = 32;  ///< physical address bits (Sec 5.6)
+    u32 cores = 4;           ///< full-map directory vector width
+    unsigned coherenceBits = 4; ///< per-tag coherence state (Table 3)
+};
+
+/** Cost summary of one structure (a Table 3 column). */
+struct StructureCost
+{
+    std::string name;
+    u64 entries = 0;
+    unsigned tagEntryBits = 0;  ///< metadata bits per entry
+    unsigned dataEntryBits = 0; ///< 512 for data-bearing structures
+    double totalKb = 0.0;
+    double areaMm2 = 0.0;
+    SramCost tagPart;  ///< metadata subarray (or MTag array)
+    SramCost dataPart; ///< 512-bit-row subarray (zeroed if none)
+};
+
+/** Cost of a conventional cache (baseline LLC / precise half). */
+StructureCost conventionalCost(const CactiLite &cacti,
+                               const std::string &name, u64 entries,
+                               u32 ways, const CostParams &params = {});
+
+/** Cost of the Doppelgänger tag array. */
+StructureCost doppTagCost(const CactiLite &cacti, const std::string &name,
+                          const DoppConfig &cfg,
+                          const CostParams &params = {});
+
+/** Cost of the Doppelgänger approximate data array (incl. MTag). */
+StructureCost doppDataCost(const CactiLite &cacti,
+                           const std::string &name, const DoppConfig &cfg,
+                           const CostParams &params = {});
+
+/** Whole-LLC organization aggregate. */
+struct LlcCost
+{
+    std::string name;
+    std::vector<StructureCost> structures;
+    double fpuAreaMm2 = 0.0; ///< map-generation FPUs (8 × 0.01 mm²)
+    double totalAreaMm2 = 0.0;
+    double totalKb = 0.0;
+    double leakageMw = 0.0;
+};
+
+/** Number and unit area of the map-generation FPUs (Sec 4). */
+constexpr unsigned mapGenFpuCount = 8;
+constexpr double mapGenFpuAreaMm2 = 0.01;
+
+/** The 2 MB conventional baseline (Table 1). */
+LlcCost baselineLlcCost(const CactiLite &cacti, u64 entries = 32 * 1024,
+                        u32 ways = 16, const CostParams &params = {});
+
+/** The split organization: precise cache + Doppelgänger cache. */
+LlcCost splitLlcCost(const CactiLite &cacti, u64 precise_entries,
+                     u32 precise_ways, const DoppConfig &dopp,
+                     const CostParams &params = {});
+
+/** The unified uniDoppelgänger organization. */
+LlcCost uniLlcCost(const CactiLite &cacti, const DoppConfig &uni,
+                   const CostParams &params = {});
+
+} // namespace dopp
+
+#endif // DOPP_ENERGY_HARDWARE_COST_HH

@@ -1,0 +1,197 @@
+#include "experiment.hh"
+
+#include <cstdlib>
+#include <memory>
+
+#include "compress/bdi_llc.hh"
+#include "compress/dedup.hh"
+#include "sim/llc.hh"
+#include "sim/trace.hh"
+#include "sim/memory.hh"
+#include "util/logging.hh"
+
+namespace dopp
+{
+
+const char *
+llcKindName(LlcKind kind)
+{
+    switch (kind) {
+      case LlcKind::Baseline: return "baseline";
+      case LlcKind::SplitDopp: return "split-doppelganger";
+      case LlcKind::UniDopp: return "uniDoppelganger";
+      case LlcKind::Dedup: return "dedup";
+      case LlcKind::Bdi: return "bdi";
+    }
+    return "?";
+}
+
+DoppConfig
+splitDoppConfig(const RunConfig &cfg)
+{
+    DoppConfig d;
+    // 1 MB tag-equivalent: 16 K tags (Table 1).
+    d.tagEntries = static_cast<u32>(cfg.baselineBytes / 2 / blockBytes);
+    d.tagWays = cfg.llcWays;
+    d.dataEntries = static_cast<u32>(
+        static_cast<double>(d.tagEntries) * cfg.dataFraction);
+    d.dataWays = cfg.llcWays;
+    d.mapBits = cfg.mapBits;
+    d.hashMode = cfg.hashMode;
+    d.hashDataSetIndex = cfg.hashDataSetIndex;
+    d.dataPolicy = cfg.dataPolicy;
+    d.tagCountAwareData = cfg.tagCountAwareData;
+    d.hitLatency = cfg.llcLatency;
+    d.unified = false;
+    return d;
+}
+
+DoppConfig
+uniDoppConfig(const RunConfig &cfg)
+{
+    DoppConfig d;
+    // 2 MB tag-equivalent: 32 K tags (Table 1).
+    d.tagEntries = static_cast<u32>(cfg.baselineBytes / blockBytes);
+    d.tagWays = cfg.llcWays;
+    d.dataEntries = static_cast<u32>(
+        static_cast<double>(d.tagEntries) * cfg.dataFraction);
+    d.dataWays = cfg.llcWays;
+    d.mapBits = cfg.mapBits;
+    d.hashMode = cfg.hashMode;
+    d.hashDataSetIndex = cfg.hashDataSetIndex;
+    d.dataPolicy = cfg.dataPolicy;
+    d.tagCountAwareData = cfg.tagCountAwareData;
+    d.hitLatency = cfg.llcLatency;
+    d.unified = true;
+    return d;
+}
+
+double
+workloadScaleFromEnv()
+{
+    const char *env = std::getenv("DOPP_WORKLOAD_SCALE");
+    if (!env)
+        return 1.0;
+    const double v = std::atof(env);
+    return v > 0.0 ? v : 1.0;
+}
+
+RunResult
+runWorkload(const std::string &workload_name, const RunConfig &cfg)
+{
+    MainMemory memory;
+    ApproxRegistry registry;
+
+    std::unique_ptr<LastLevelCache> llc;
+    const SplitLlc *split = nullptr;
+    const DoppelgangerCache *doppView = nullptr;
+    DoppConfig doppCfg;
+
+    switch (cfg.kind) {
+      case LlcKind::Baseline:
+        llc = std::make_unique<ConventionalLlc>(
+            memory, cfg.baselineBytes, cfg.llcWays, cfg.llcLatency,
+            &registry);
+        break;
+      case LlcKind::SplitDopp: {
+        SplitLlcConfig sc;
+        sc.preciseBytes = cfg.baselineBytes / 2;
+        sc.preciseWays = cfg.llcWays;
+        sc.preciseLatency = cfg.llcLatency;
+        sc.dopp = splitDoppConfig(cfg);
+        doppCfg = sc.dopp;
+        auto ptr = std::make_unique<SplitLlc>(memory, sc, registry);
+        split = ptr.get();
+        doppView = &ptr->doppelganger();
+        llc = std::move(ptr);
+        break;
+      }
+      case LlcKind::UniDopp: {
+        doppCfg = uniDoppConfig(cfg);
+        auto ptr = std::make_unique<DoppelgangerCache>(memory, doppCfg,
+                                                       &registry);
+        doppView = ptr.get();
+        llc = std::move(ptr);
+        break;
+      }
+      case LlcKind::Bdi: {
+        BdiLlcConfig bc;
+        bc.sizeBytes = cfg.baselineBytes;
+        bc.ways = cfg.llcWays;
+        bc.hitLatency = cfg.llcLatency;
+        llc = std::make_unique<BdiLlc>(memory, bc, &registry);
+        break;
+      }
+      case LlcKind::Dedup: {
+        DedupConfig dc;
+        dc.tagEntries =
+            static_cast<u32>(cfg.baselineBytes / blockBytes);
+        dc.tagWays = cfg.llcWays;
+        dc.dataEntries = static_cast<u32>(
+            static_cast<double>(dc.tagEntries) * cfg.dataFraction);
+        dc.dataWays = cfg.llcWays;
+        dc.hitLatency = cfg.llcLatency;
+        llc = std::make_unique<DedupLlc>(memory, dc);
+        break;
+      }
+    }
+
+    HierarchyConfig hc; // Table 1 defaults
+    MemorySystem system(hc, *llc, memory);
+    SimRuntime rt(system, memory, registry);
+
+    if (cfg.snapshotPeriod && cfg.onSnapshot) {
+        rt.setPeriodicHook(cfg.snapshotPeriod, [&]() {
+            cfg.onSnapshot(captureSnapshot(*llc, registry));
+        });
+    }
+
+    std::unique_ptr<TraceWriter> tracer;
+    if (!cfg.tracePath.empty()) {
+        tracer = std::make_unique<TraceWriter>(cfg.tracePath);
+        rt.accessHook = [&](Addr a, bool is_write, unsigned size,
+                            u64 payload) {
+            TraceRecord rec;
+            rec.addr = a;
+            rec.payload = payload;
+            rec.core = static_cast<u8>(rt.core());
+            rec.size = static_cast<u8>(size);
+            rec.isWrite = is_write ? 1 : 0;
+            tracer->append(rec);
+        };
+    }
+
+    auto workload = makeWorkload(workload_name, cfg.workload);
+    workload->run(rt);
+    if (tracer)
+        tracer->close();
+
+    // Guarantee at least one snapshot per run, whatever the period.
+    if (cfg.snapshotPeriod && cfg.onSnapshot)
+        cfg.onSnapshot(captureSnapshot(*llc, registry));
+
+    RunResult r;
+    r.workload = workload_name;
+    r.organization = llcKindName(cfg.kind);
+    r.runtime = rt.runtime();
+    r.output = workload->output();
+    r.llc = llc->stats();
+    if (split) {
+        r.preciseHalf = split->precise().stats();
+        r.doppHalf = split->doppelganger().stats();
+    } else if (cfg.kind == LlcKind::UniDopp) {
+        r.doppHalf = llc->stats();
+    }
+    r.hierarchy = system.stats();
+    r.memReads = memory.reads();
+    r.memWrites = memory.writes();
+    r.doppConfig = doppCfg;
+    if (doppView && doppView->dataCount() > 0) {
+        r.tagsPerDataEntry =
+            static_cast<double>(doppView->tagCount()) /
+            static_cast<double>(doppView->dataCount());
+    }
+    return r;
+}
+
+} // namespace dopp

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Experiment harness: builds the Table 1 system around a chosen LLC
+ * organization, runs one benchmark on it, and collects everything the
+ * evaluation needs (runtime, output, LLC/hierarchy stats, off-chip
+ * traffic, periodic snapshots for the characterization figures).
+ */
+
+#ifndef DOPP_HARNESS_EXPERIMENT_HH
+#define DOPP_HARNESS_EXPERIMENT_HH
+
+#include <functional>
+#include <string>
+
+#include "analysis/similarity.hh"
+#include "core/doppelganger_cache.hh"
+#include "core/split_llc.hh"
+#include "sim/hierarchy.hh"
+#include "workloads/workload.hh"
+
+namespace dopp
+{
+
+/** Which LLC organization to build. */
+enum class LlcKind : u8
+{
+    Baseline,  ///< 2 MB conventional (Table 1 baseline)
+    SplitDopp, ///< 1 MB precise + 1 MB-tag-equivalent Doppelgänger
+    UniDopp,   ///< 2 MB-tag-equivalent uniDoppelgänger
+    Dedup,     ///< exact-deduplication LLC baseline
+    Bdi,       ///< B∆I-compressed conventional LLC baseline
+};
+
+/** Name of @p kind for reports. */
+const char *llcKindName(LlcKind kind);
+
+/** One run's configuration. */
+struct RunConfig
+{
+    LlcKind kind = LlcKind::Baseline;
+
+    /** Doppelgänger map-space size M (Table 1 default 14). */
+    unsigned mapBits = 14;
+
+    /** Data-array entries as a fraction of tag entries (Sec 5.2);
+     * the paper's base configuration is 1/4. */
+    double dataFraction = 0.25;
+
+    /** Map hash selection (ablations; paper default AvgAndRange). */
+    MapHashMode hashMode = MapHashMode::AvgAndRange;
+
+    /** XOR-folded data-array set index (ablation; see DoppConfig). */
+    bool hashDataSetIndex = true;
+
+    /** Data-array replacement policy (ablation; paper uses LRU). */
+    ReplPolicy dataPolicy = ReplPolicy::LRU;
+
+    /** Tag-count-aware data victim selection (Sec 3.5 future work). */
+    bool tagCountAwareData = false;
+
+    /** Workload sizing/seed. */
+    WorkloadConfig workload;
+
+    /** If non-empty, record every simulated access to this trace file
+     * (sim/trace.hh) for later replay. */
+    std::string tracePath;
+
+    /** If non-zero, capture an LLC snapshot every N accesses and hand
+     * it to onSnapshot. */
+    u64 snapshotPeriod = 0;
+    std::function<void(const Snapshot &)> onSnapshot;
+
+    /** Baseline LLC geometry (Table 1). */
+    u64 baselineBytes = 2 * 1024 * 1024;
+    u32 llcWays = 16;
+    Tick llcLatency = 6;
+};
+
+/** Everything measured in one run. */
+struct RunResult
+{
+    std::string workload;
+    std::string organization;
+
+    Tick runtime = 0;               ///< slowest core's cycles
+    std::vector<double> output;     ///< application final output
+
+    LlcStats llc;                   ///< aggregate LLC stats
+    LlcStats preciseHalf;           ///< split only: precise half
+    LlcStats doppHalf;              ///< split only: Doppelgänger half
+    HierarchyStats hierarchy;
+    u64 memReads = 0;               ///< off-chip demand reads (blocks)
+    u64 memWrites = 0;              ///< off-chip writebacks (blocks)
+
+    /** Geometry actually used (for the energy model). */
+    DoppConfig doppConfig;
+
+    /** End-of-run occupancy: tags per valid data entry. */
+    double tagsPerDataEntry = 0.0;
+
+    u64 offChipTraffic() const { return memReads + memWrites; }
+};
+
+/** Build the DoppConfig the split organization uses under @p cfg. */
+DoppConfig splitDoppConfig(const RunConfig &cfg);
+
+/** Build the DoppConfig the unified organization uses under @p cfg. */
+DoppConfig uniDoppConfig(const RunConfig &cfg);
+
+/**
+ * Run benchmark @p workload_name on the system described by @p cfg.
+ * Deterministic: equal configs give equal results.
+ */
+RunResult runWorkload(const std::string &workload_name,
+                      const RunConfig &cfg);
+
+/** Read DOPP_WORKLOAD_SCALE (default 1.0) for bench sizing. */
+double workloadScaleFromEnv();
+
+} // namespace dopp
+
+#endif // DOPP_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,61 @@
+#include "report.hh"
+
+#include <algorithm>
+#include <cstdarg>
+
+namespace dopp
+{
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return buf;
+}
+
+std::string
+pct(double fraction, int decimals)
+{
+    return strfmt("%.*f%%", decimals, fraction * 100.0);
+}
+
+std::string
+times(double ratio, int decimals)
+{
+    return strfmt("%.*fx", decimals, ratio);
+}
+
+void
+TextTable::print(const std::string &title) const
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+
+    std::vector<size_t> widths(head.size(), 0);
+    auto widen = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size() && i < widths.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    widen(head);
+    for (const auto &r : rows)
+        widen(r);
+
+    auto printRow = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            std::printf("%-*s", static_cast<int>(widths[i] + 2),
+                        cells[i].c_str());
+        }
+        std::printf("\n");
+    };
+    printRow(head);
+    for (size_t i = 0; i < head.size(); ++i)
+        std::printf("%s", std::string(widths[i] + 2, '-').c_str());
+    std::printf("\n");
+    for (const auto &r : rows)
+        printRow(r);
+}
+
+} // namespace dopp

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Plain-text table formatting for the per-figure bench binaries, so
+ * each prints the same rows/series its paper figure reports.
+ */
+
+#ifndef DOPP_HARNESS_REPORT_HH
+#define DOPP_HARNESS_REPORT_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dopp
+{
+
+/** Column-aligned text table printed to stdout. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void
+    header(std::vector<std::string> cells)
+    {
+        head = std::move(cells);
+    }
+
+    /** Append one row (must match the header's arity). */
+    void
+    row(std::vector<std::string> cells)
+    {
+        rows.push_back(std::move(cells));
+    }
+
+    /** Render to stdout with a title line. */
+    void print(const std::string &title) const;
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** printf-style std::string helper. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Format a fraction as a percentage, e.g. 0.379 → "37.9%". */
+std::string pct(double fraction, int decimals = 1);
+
+/** Format a ratio with an '×' suffix, e.g. 2.55 → "2.55x". */
+std::string times(double ratio, int decimals = 2);
+
+} // namespace dopp
+
+#endif // DOPP_HARNESS_REPORT_HH

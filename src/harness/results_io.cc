@@ -1,0 +1,130 @@
+#include "results_io.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace dopp
+{
+
+namespace
+{
+
+/** Fields serialized for every run, as (name, getter) pairs. */
+struct Field
+{
+    const char *name;
+    u64 (*get)(const RunResult &);
+};
+
+const Field numericFields[] = {
+    {"runtime_cycles", [](const RunResult &r) { return r.runtime; }},
+    {"accesses",
+     [](const RunResult &r) { return r.hierarchy.accesses; }},
+    {"loads", [](const RunResult &r) { return r.hierarchy.loads; }},
+    {"stores", [](const RunResult &r) { return r.hierarchy.stores; }},
+    {"l1_hits", [](const RunResult &r) { return r.hierarchy.l1Hits; }},
+    {"l1_misses",
+     [](const RunResult &r) { return r.hierarchy.l1Misses; }},
+    {"l2_hits", [](const RunResult &r) { return r.hierarchy.l2Hits; }},
+    {"l2_misses",
+     [](const RunResult &r) { return r.hierarchy.l2Misses; }},
+    {"llc_fetches", [](const RunResult &r) { return r.llc.fetches; }},
+    {"llc_hits", [](const RunResult &r) { return r.llc.fetchHits; }},
+    {"llc_misses",
+     [](const RunResult &r) { return r.llc.fetchMisses; }},
+    {"llc_writebacks_in",
+     [](const RunResult &r) { return r.llc.writebacksIn; }},
+    {"llc_evictions",
+     [](const RunResult &r) { return r.llc.evictions; }},
+    {"llc_data_evictions",
+     [](const RunResult &r) { return r.llc.dataEvictions; }},
+    {"llc_dirty_writebacks",
+     [](const RunResult &r) { return r.llc.dirtyWritebacks; }},
+    {"llc_back_invalidations",
+     [](const RunResult &r) { return r.llc.backInvalidations; }},
+    {"tag_reads", [](const RunResult &r) { return r.llc.tagArray.reads; }},
+    {"tag_writes",
+     [](const RunResult &r) { return r.llc.tagArray.writes; }},
+    {"mtag_reads",
+     [](const RunResult &r) { return r.llc.mtagArray.reads; }},
+    {"mtag_writes",
+     [](const RunResult &r) { return r.llc.mtagArray.writes; }},
+    {"data_reads",
+     [](const RunResult &r) { return r.llc.dataArray.reads; }},
+    {"data_writes",
+     [](const RunResult &r) { return r.llc.dataArray.writes; }},
+    {"map_gens", [](const RunResult &r) { return r.llc.mapGens; }},
+    {"mem_reads", [](const RunResult &r) { return r.memReads; }},
+    {"mem_writes", [](const RunResult &r) { return r.memWrites; }},
+};
+
+} // namespace
+
+std::string
+runResultCsvHeader()
+{
+    std::string out = "workload,organization";
+    for (const auto &f : numericFields) {
+        out += ',';
+        out += f.name;
+    }
+    out += ",tags_per_data_entry";
+    return out;
+}
+
+std::string
+runResultCsvRow(const RunResult &result)
+{
+    std::ostringstream out;
+    out << result.workload << ',' << result.organization;
+    for (const auto &f : numericFields)
+        out << ',' << f.get(result);
+    out << ',' << result.tagsPerDataEntry;
+    return out.str();
+}
+
+void
+writeResultsCsv(const std::string &path,
+                const std::vector<RunResult> &results)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open '%s' for writing", path.c_str());
+    std::fprintf(f, "%s\n", runResultCsvHeader().c_str());
+    for (const auto &r : results)
+        std::fprintf(f, "%s\n", runResultCsvRow(r).c_str());
+    std::fclose(f);
+}
+
+std::string
+runResultJson(const RunResult &result)
+{
+    std::ostringstream out;
+    out << "{\"workload\":\"" << result.workload
+        << "\",\"organization\":\"" << result.organization << '"';
+    for (const auto &f : numericFields)
+        out << ",\"" << f.name << "\":" << f.get(result);
+    out << ",\"tags_per_data_entry\":" << result.tagsPerDataEntry
+        << '}';
+    return out.str();
+}
+
+void
+writeResultsJson(const std::string &path,
+                 const std::vector<RunResult> &results)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open '%s' for writing", path.c_str());
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+        std::fprintf(f, "  %s%s\n", runResultJson(results[i]).c_str(),
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+}
+
+} // namespace dopp

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Result export: write RunResults as CSV or JSON so figure data can be
+ * post-processed outside the simulator (plots, spreadsheets, CI
+ * dashboards). Columns cover everything RunResult carries, including
+ * the per-structure access counters the energy model consumes.
+ */
+
+#ifndef DOPP_HARNESS_RESULTS_IO_HH
+#define DOPP_HARNESS_RESULTS_IO_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace dopp
+{
+
+/** The CSV header row matching runResultCsvRow(). */
+std::string runResultCsvHeader();
+
+/** One RunResult as a CSV row (no trailing newline). */
+std::string runResultCsvRow(const RunResult &result);
+
+/** Write @p results (with header) to @p path. Fatal on I/O errors. */
+void writeResultsCsv(const std::string &path,
+                     const std::vector<RunResult> &results);
+
+/** One RunResult as a JSON object string. */
+std::string runResultJson(const RunResult &result);
+
+/** Write @p results as a JSON array to @p path. */
+void writeResultsJson(const std::string &path,
+                      const std::vector<RunResult> &results);
+
+} // namespace dopp
+
+#endif // DOPP_HARNESS_RESULTS_IO_HH

@@ -1,0 +1,135 @@
+#include "approx.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dopp
+{
+
+const char *
+elemTypeName(ElemType type)
+{
+    switch (type) {
+      case ElemType::U8: return "u8";
+      case ElemType::I16: return "i16";
+      case ElemType::I32: return "i32";
+      case ElemType::F32: return "f32";
+      case ElemType::F64: return "f64";
+    }
+    return "?";
+}
+
+void
+ApproxRegistry::add(const ApproxRegion &region)
+{
+    if (region.size == 0)
+        fatal("approx region '%s' has zero size", region.name.c_str());
+    if (region.maxValue < region.minValue) {
+        fatal("approx region '%s' has inverted range [%g, %g]",
+              region.name.c_str(), region.minValue, region.maxValue);
+    }
+    for (const auto &other : sorted) {
+        const bool disjoint = region.base + region.size <= other.base ||
+            other.base + other.size <= region.base;
+        if (!disjoint) {
+            fatal("approx regions '%s' and '%s' overlap",
+                  region.name.c_str(), other.name.c_str());
+        }
+    }
+    auto it = std::lower_bound(
+        sorted.begin(), sorted.end(), region,
+        [](const ApproxRegion &a, const ApproxRegion &b) {
+            return a.base < b.base;
+        });
+    sorted.insert(it, region);
+}
+
+void
+ApproxRegistry::clear()
+{
+    sorted.clear();
+}
+
+const ApproxRegion *
+ApproxRegistry::find(Addr a) const
+{
+    // First region with base > a, then step back one.
+    auto it = std::upper_bound(
+        sorted.begin(), sorted.end(), a,
+        [](Addr addr, const ApproxRegion &r) { return addr < r.base; });
+    if (it == sorted.begin())
+        return nullptr;
+    --it;
+    return it->contains(a) ? &*it : nullptr;
+}
+
+double
+blockElement(const u8 *block, ElemType type, unsigned idx)
+{
+    DOPP_ASSERT(idx < elemsPerBlock(type));
+    const u8 *p = block + static_cast<size_t>(idx) * elemSize(type);
+    switch (type) {
+      case ElemType::U8:
+        return static_cast<double>(*p);
+      case ElemType::I16: {
+        i16 v;
+        std::memcpy(&v, p, sizeof(v));
+        return static_cast<double>(v);
+      }
+      case ElemType::I32: {
+        i32 v;
+        std::memcpy(&v, p, sizeof(v));
+        return static_cast<double>(v);
+      }
+      case ElemType::F32: {
+        float v;
+        std::memcpy(&v, p, sizeof(v));
+        return static_cast<double>(v);
+      }
+      case ElemType::F64: {
+        double v;
+        std::memcpy(&v, p, sizeof(v));
+        return v;
+      }
+    }
+    return 0.0;
+}
+
+void
+setBlockElement(u8 *block, ElemType type, unsigned idx, double value)
+{
+    DOPP_ASSERT(idx < elemsPerBlock(type));
+    u8 *p = block + static_cast<size_t>(idx) * elemSize(type);
+    switch (type) {
+      case ElemType::U8: {
+        double v = std::clamp(value, 0.0, 255.0);
+        u8 b = static_cast<u8>(std::lround(v));
+        *p = b;
+        return;
+      }
+      case ElemType::I16: {
+        double v = std::clamp(value, -32768.0, 32767.0);
+        i16 b = static_cast<i16>(std::lround(v));
+        std::memcpy(p, &b, sizeof(b));
+        return;
+      }
+      case ElemType::I32: {
+        double v = std::clamp(value, -2147483648.0, 2147483647.0);
+        i32 b = static_cast<i32>(std::llround(v));
+        std::memcpy(p, &b, sizeof(b));
+        return;
+      }
+      case ElemType::F32: {
+        float b = static_cast<float>(value);
+        std::memcpy(p, &b, sizeof(b));
+        return;
+      }
+      case ElemType::F64: {
+        std::memcpy(p, &value, sizeof(value));
+        return;
+      }
+    }
+}
+
+} // namespace dopp

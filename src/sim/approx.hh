@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Programmer-annotation model for approximate data (paper Sec 4).
+ *
+ * The paper assumes EnerJ-style annotations [25] with ISA support [7]:
+ * the programmer declares which address regions hold approximate data,
+ * the element data type, and the expected value range [min, max]. The
+ * range is sent to the LLC once at application start; runtime values
+ * outside the range are clamped. This module is the software equivalent
+ * of that contract: workloads register regions in an ApproxRegistry and
+ * the memory system consults it to (a) steer requests to the precise or
+ * Doppelgänger cache and (b) compute map values over block elements.
+ */
+
+#ifndef DOPP_SIM_APPROX_HH
+#define DOPP_SIM_APPROX_HH
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace dopp
+{
+
+/** Data type of an annotated approximate element. */
+enum class ElemType : u8
+{
+    U8,   ///< unsigned 8-bit (e.g. pixel channels)
+    I16,  ///< signed 16-bit
+    I32,  ///< signed 32-bit
+    F32,  ///< IEEE single
+    F64,  ///< IEEE double
+};
+
+/** @return the size in bytes of one element of @p type. */
+constexpr unsigned
+elemSize(ElemType type)
+{
+    switch (type) {
+      case ElemType::U8: return 1;
+      case ElemType::I16: return 2;
+      case ElemType::I32: return 4;
+      case ElemType::F32: return 4;
+      case ElemType::F64: return 8;
+    }
+    return 1;
+}
+
+/** @return number of elements of @p type in one 64 B cache block. */
+constexpr unsigned
+elemsPerBlock(ElemType type)
+{
+    return blockBytes / elemSize(type);
+}
+
+/** @return the bit width of @p type's storage. */
+constexpr unsigned
+elemBits(ElemType type)
+{
+    return elemSize(type) * 8;
+}
+
+/** Human-readable name of @p type. */
+const char *elemTypeName(ElemType type);
+
+/**
+ * One annotated approximate region of the simulated address space.
+ *
+ * A region covers [base, base + size) and holds elements of a single
+ * type whose values the programmer expects to lie within [minValue,
+ * maxValue]. Per Sec 4.1 a single range is used for all elements of a
+ * given type in an application, which callers achieve by registering
+ * regions of equal type with equal ranges.
+ */
+struct ApproxRegion
+{
+    Addr base = 0;           ///< first byte of the region
+    u64 size = 0;            ///< region length in bytes
+    ElemType type = ElemType::F32; ///< element data type
+    double minValue = 0.0;   ///< declared minimum element value
+    double maxValue = 1.0;   ///< declared maximum element value
+    std::string name;        ///< diagnostic label
+
+    /** @return whether @p a falls inside this region. */
+    bool
+    contains(Addr a) const
+    {
+        return a >= base && a < base + size;
+    }
+
+    /** Range width; at least a tiny epsilon to avoid divide-by-zero. */
+    double
+    span() const
+    {
+        return std::max(maxValue - minValue, 1e-30);
+    }
+};
+
+/**
+ * Registry of all approximate regions of one application.
+ *
+ * Mirrors the small range-buffer the paper stores at the LLC. Lookup is
+ * by block address; regions are block-aligned in practice (workload
+ * allocators guarantee it) so a block is either entirely approximate or
+ * entirely precise, matching the paper's model.
+ */
+class ApproxRegistry
+{
+  public:
+    /** Register a region. Regions must not overlap. */
+    void add(const ApproxRegion &region);
+
+    /** Remove all regions (between workload phases/runs). */
+    void clear();
+
+    /** @return the region containing @p a, or nullptr if precise. */
+    const ApproxRegion *find(Addr a) const;
+
+    /** @return whether address @p a is annotated approximate. */
+    bool isApprox(Addr a) const { return find(a) != nullptr; }
+
+    /** All registered regions. */
+    const std::vector<ApproxRegion> &regions() const { return sorted; }
+
+  private:
+    /** Regions sorted by base address for binary search. */
+    std::vector<ApproxRegion> sorted;
+};
+
+/**
+ * Read element @p idx of a 64 B block interpreted as @p type.
+ * @return the value widened to double.
+ */
+double blockElement(const u8 *block, ElemType type, unsigned idx);
+
+/** Store @p value (narrowed with clamping) as element @p idx. */
+void setBlockElement(u8 *block, ElemType type, unsigned idx, double value);
+
+} // namespace dopp
+
+#endif // DOPP_SIM_APPROX_HH

@@ -1,0 +1,323 @@
+#include "hierarchy.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace dopp
+{
+
+MemorySystem::MemorySystem(const HierarchyConfig &config,
+                           LastLevelCache &llc, MainMemory &memory)
+    : cfg(config), llcRef(llc), mem(memory)
+{
+    if (cfg.numCores == 0 || cfg.numCores > 8)
+        fatal("unsupported core count %u", cfg.numCores);
+    for (u32 c = 0; c < cfg.numCores; ++c) {
+        l1.push_back(std::make_unique<PrivateCache>(cfg.l1Bytes,
+                                                    cfg.l1Ways));
+        l2.push_back(std::make_unique<PrivateCache>(cfg.l2Bytes,
+                                                    cfg.l2Ways));
+    }
+    llcRef.setBackInvalidate(
+        [this](Addr addr, u8 *data) { return backInvalidate(addr, data); });
+}
+
+void
+MemorySystem::dirMaybeErase(Addr addr)
+{
+    auto it = directory.find(addr);
+    if (it != directory.end() && it->second.sharers == 0 &&
+        it->second.owner < 0) {
+        directory.erase(it);
+    }
+}
+
+bool
+MemorySystem::invalidateOthers(Addr addr, int except, u8 *merged)
+{
+    auto it = directory.find(addr);
+    if (it == directory.end())
+        return false;
+    DirEntry &de = it->second;
+
+    bool dirty = false;
+    for (u32 c = 0; c < cfg.numCores; ++c) {
+        if (static_cast<int>(c) == except || !(de.sharers & (1u << c)))
+            continue;
+        PrivateCache::Line *l1line = l1[c]->find(addr);
+        PrivateCache::Line *l2line = l2[c]->find(addr);
+        // L1 data supersedes L2 data within a core.
+        if (l1line && l1line->dirty) {
+            std::memcpy(merged, l1line->data.data(), blockBytes);
+            dirty = true;
+        } else if (l2line && l2line->dirty) {
+            std::memcpy(merged, l2line->data.data(), blockBytes);
+            dirty = true;
+        }
+        if (l1line)
+            l1line->valid = false;
+        if (l2line)
+            l2line->valid = false;
+        de.sharers &= static_cast<u8>(~(1u << c));
+        if (de.owner == static_cast<int>(c))
+            de.owner = -1;
+        ++hierStats.invalidationsSent;
+    }
+    dirMaybeErase(addr);
+    return dirty;
+}
+
+bool
+MemorySystem::backInvalidate(Addr addr, u8 *data)
+{
+    bool dirty = false;
+    for (u32 c = 0; c < cfg.numCores; ++c) {
+        PrivateCache::Line *l1line = l1[c]->find(addr);
+        PrivateCache::Line *l2line = l2[c]->find(addr);
+        if (l1line && l1line->dirty) {
+            std::memcpy(data, l1line->data.data(), blockBytes);
+            dirty = true;
+        } else if (l2line && l2line->dirty) {
+            std::memcpy(data, l2line->data.data(), blockBytes);
+            dirty = true;
+        }
+        if (l1line) {
+            l1line->valid = false;
+            ++hierStats.invalidationsSent;
+        }
+        if (l2line) {
+            l2line->valid = false;
+            ++hierStats.invalidationsSent;
+        }
+    }
+    directory.erase(addr);
+    return dirty;
+}
+
+void
+MemorySystem::evictFromL2(CoreId core, Addr addr,
+                          const PrivateCache::Line &line)
+{
+    // Maintain L2 ⊇ L1: the L1 copy must go too; its data is newest.
+    BlockData newest = line.data;
+    bool dirty = line.dirty;
+    PrivateCache::Line *l1line = l1[core]->find(addr);
+    if (l1line) {
+        if (l1line->dirty) {
+            newest = l1line->data;
+            dirty = true;
+        }
+        l1line->valid = false;
+    }
+    if (dirty)
+        llcRef.writeback(addr, newest.data());
+
+    auto it = directory.find(addr);
+    if (it != directory.end()) {
+        it->second.sharers &= static_cast<u8>(~(1u << core));
+        if (it->second.owner == static_cast<int>(core))
+            it->second.owner = -1;
+        dirMaybeErase(addr);
+    }
+}
+
+PrivateCache::Line &
+MemorySystem::fillPrivate(CoreId core, Addr addr, const u8 *bytes)
+{
+    // Fill L2 first so inclusion holds when L1 is filled.
+    if (!l2[core]->find(addr)) {
+        PrivateCache::Line &l2line = l2[core]->allocate(
+            addr, [this, core](Addr victim, const PrivateCache::Line &v) {
+                evictFromL2(core, victim, v);
+            });
+        std::memcpy(l2line.data.data(), bytes, blockBytes);
+    }
+    PrivateCache::Line *l1line = l1[core]->find(addr);
+    if (!l1line) {
+        l1line = &l1[core]->allocate(
+            addr, [this, core](Addr victim, const PrivateCache::Line &v) {
+                // L1 victim: fold dirty data into the L2 copy (L2 ⊇ L1).
+                if (!v.dirty)
+                    return;
+                PrivateCache::Line *parent = l2[core]->find(victim);
+                if (parent) {
+                    parent->data = v.data;
+                    parent->dirty = true;
+                } else {
+                    // Inclusion violated only via races we don't model;
+                    // be safe and push straight to the LLC.
+                    llcRef.writeback(victim, v.data.data());
+                }
+            });
+        std::memcpy(l1line->data.data(), bytes, blockBytes);
+    }
+    return *l1line;
+}
+
+Tick
+MemorySystem::fetchIntoPrivate(CoreId core, Addr addr, bool for_write)
+{
+    Tick lat = 0;
+
+    // Resolve a remote modified copy first (Sec 3.6): write it back to
+    // the LLC, which for Doppelgänger re-runs map generation.
+    auto it = directory.find(addr);
+    if (it != directory.end() && it->second.owner >= 0 &&
+        it->second.owner != static_cast<int>(core)) {
+        const CoreId owner = static_cast<CoreId>(it->second.owner);
+        ++hierStats.remoteFetches;
+        lat += cfg.remotePenalty;
+
+        PrivateCache::Line *l1o = l1[owner]->find(addr);
+        PrivateCache::Line *l2o = l2[owner]->find(addr);
+        const PrivateCache::Line *newest = l1o ? l1o : l2o;
+        if (newest) {
+            llcRef.writeback(addr, newest->data.data());
+            // Downgrading to clean: the owner's L2 copy must match its
+            // L1 copy, or a later silent L1 eviction would leave the
+            // stale L2 line answering hits.
+            if (l1o && l2o)
+                l2o->data = l1o->data;
+            if (l1o)
+                l1o->dirty = false;
+            if (l2o)
+                l2o->dirty = false;
+        }
+        it->second.owner = -1;
+    }
+
+    BlockData buf;
+    const auto result = llcRef.fetch(addr, buf.data());
+    lat += result.latency;
+
+    DirEntry &de = dirEntry(addr);
+    if (for_write) {
+        BlockData merged;
+        if (invalidateOthers(addr, static_cast<int>(core), merged.data()))
+            buf = merged;
+        de.owner = static_cast<int>(core);
+    }
+    de.sharers |= static_cast<u8>(1u << core);
+
+    fillPrivate(core, addr, buf.data());
+    return lat;
+}
+
+Tick
+MemorySystem::access(CoreId core, Addr addr, bool is_write, unsigned size,
+                     void *data)
+{
+    DOPP_ASSERT(core < cfg.numCores);
+    DOPP_ASSERT(size > 0 && size <= blockBytes);
+    DOPP_ASSERT(blockAlign(addr) == blockAlign(addr + size - 1));
+
+    ++hierStats.accesses;
+    if (is_write)
+        ++hierStats.stores;
+    else
+        ++hierStats.loads;
+
+    const Addr baddr = blockAlign(addr);
+    const unsigned off = blockOffset(addr);
+
+    Tick lat = cfg.l1Latency;
+    ++l1[core]->accesses;
+
+    PrivateCache::Line *line = l1[core]->find(baddr);
+    if (line) {
+        ++hierStats.l1Hits;
+        l1[core]->touch(baddr);
+    } else {
+        ++l1[core]->misses;
+        ++hierStats.l1Misses;
+        lat += cfg.l2Latency;
+        ++l2[core]->accesses;
+
+        PrivateCache::Line *l2line = l2[core]->find(baddr);
+        if (l2line) {
+            ++hierStats.l2Hits;
+            l2[core]->touch(baddr);
+            line = &fillPrivate(core, baddr, l2line->data.data());
+        } else {
+            ++l2[core]->misses;
+            ++hierStats.l2Misses;
+            lat += fetchIntoPrivate(core, baddr, is_write);
+            line = l1[core]->find(baddr);
+            DOPP_ASSERT(line);
+        }
+    }
+
+    if (is_write) {
+        DirEntry &de = dirEntry(baddr);
+        de.sharers |= static_cast<u8>(1u << core);
+        if (de.owner != static_cast<int>(core)) {
+            // Upgrade: obtain ownership via the directory.
+            ++hierStats.upgrades;
+            lat += cfg.remotePenalty;
+            BlockData merged;
+            if (invalidateOthers(baddr, static_cast<int>(core),
+                                 merged.data())) {
+                line->data = merged;
+            }
+            // invalidateOthers may have erased then re-created state;
+            // re-establish our entry.
+            DirEntry &de2 = dirEntry(baddr);
+            de2.owner = static_cast<int>(core);
+            de2.sharers |= static_cast<u8>(1u << core);
+        }
+        std::memcpy(line->data.data() + off, data, size);
+        line->dirty = true;
+    } else {
+        std::memcpy(data, line->data.data() + off, size);
+    }
+    return lat;
+}
+
+void
+MemorySystem::drain()
+{
+    for (u32 c = 0; c < cfg.numCores; ++c) {
+        // Fold dirty L1 lines into L2 (or straight to the LLC).
+        l1[c]->forEachLine([&](Addr addr, PrivateCache::Line &line) {
+            if (!line.dirty)
+                return;
+            PrivateCache::Line *parent = l2[c]->find(addr);
+            if (parent) {
+                parent->data = line.data;
+                parent->dirty = true;
+            } else {
+                llcRef.writeback(addr, line.data.data());
+            }
+        });
+        l1[c]->invalidateAll();
+
+        l2[c]->forEachLine([&](Addr addr, PrivateCache::Line &line) {
+            if (line.dirty)
+                llcRef.writeback(addr, line.data.data());
+        });
+        l2[c]->invalidateAll();
+    }
+    directory.clear();
+    llcRef.flush();
+}
+
+u64
+MemorySystem::l1Accesses() const
+{
+    u64 n = 0;
+    for (const auto &cache : l1)
+        n += cache->accesses;
+    return n;
+}
+
+u64
+MemorySystem::l2Accesses() const
+{
+    u64 n = 0;
+    for (const auto &cache : l2)
+        n += cache->accesses;
+    return n;
+}
+
+} // namespace dopp

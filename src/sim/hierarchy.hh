@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Four-core memory hierarchy with MSI directory coherence.
+ *
+ * Models the system of Table 1: per-core private L1 (16 KB, 4-way,
+ * 1-cycle) and L2 (128 KB, 8-way, 3-cycle), a shared inclusive LLC
+ * behind them, and main memory (160-cycle). The LLC organization is
+ * pluggable (conventional / split Doppelgänger / uniDoppelgänger /
+ * dedup). The hierarchy is both *functional* — every line carries its
+ * 64 bytes, so approximation applied at the LLC propagates to what the
+ * cores read — and *timing*: access() returns the cycles the requesting
+ * core stalls.
+ *
+ * Coherence follows the paper's Sec 3.6: a directory at the LLC tracks
+ * sharers per block (full-map vector); requests for a block modified in
+ * a remote private cache first write that copy back to the LLC (which,
+ * for Doppelgänger, re-runs map generation per Sec 3.4).
+ */
+
+#ifndef DOPP_SIM_HIERARCHY_HH
+#define DOPP_SIM_HIERARCHY_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/llc.hh"
+#include "sim/memory.hh"
+#include "sim/private_cache.hh"
+#include "util/types.hh"
+
+namespace dopp
+{
+
+/** Timing and geometry of the private levels (defaults = Table 1). */
+struct HierarchyConfig
+{
+    u32 numCores = 4;
+
+    u64 l1Bytes = 16 * 1024;
+    u32 l1Ways = 4;
+    Tick l1Latency = 1;
+
+    u64 l2Bytes = 128 * 1024;
+    u32 l2Ways = 8;
+    Tick l2Latency = 3;
+
+    /** Extra cycles when a request must first retrieve a block that is
+     * modified in another core's private cache. */
+    Tick remotePenalty = 6;
+};
+
+/** Aggregate hierarchy counters (per run). */
+struct HierarchyStats
+{
+    u64 accesses = 0;
+    u64 loads = 0;
+    u64 stores = 0;
+    u64 l1Hits = 0;
+    u64 l1Misses = 0;
+    u64 l2Hits = 0;
+    u64 l2Misses = 0;
+    u64 upgrades = 0;        ///< write hits needing ownership
+    u64 remoteFetches = 0;   ///< blocks pulled out of a remote M copy
+    u64 invalidationsSent = 0;
+
+    double
+    l2Mpka() const
+    {
+        return accesses ? 1000.0 * static_cast<double>(l2Misses) /
+            static_cast<double>(accesses) : 0.0;
+    }
+};
+
+/**
+ * The memory system: cores call access(); the harness wires an LLC and
+ * a MainMemory in.
+ */
+class MemorySystem
+{
+  public:
+    /**
+     * @param config private-level geometry and latencies
+     * @param llc the shared LLC organization (not owned)
+     * @param memory backing store (not owned)
+     */
+    MemorySystem(const HierarchyConfig &config, LastLevelCache &llc,
+                 MainMemory &memory);
+
+    MemorySystem(const MemorySystem &) = delete;
+    MemorySystem &operator=(const MemorySystem &) = delete;
+
+    /**
+     * Perform one load or store of @p size bytes at @p addr for
+     * @p core. For loads, @p data receives the bytes the core observes
+     * (possibly a doppelgänger approximation); for stores, @p data
+     * supplies the bytes written.
+     *
+     * @pre the access does not straddle a 64 B block boundary.
+     * @return the number of cycles the core stalls for this access.
+     */
+    Tick access(CoreId core, Addr addr, bool is_write, unsigned size,
+                void *data);
+
+    /**
+     * Write back every dirty private and LLC block to memory and
+     * invalidate all levels. Used before reading workload outputs and
+     * between experiment phases. Doppelgänger writeback semantics apply
+     * (dirty tags write their *shared* data entry back).
+     */
+    void drain();
+
+    /** Per-run statistics. */
+    const HierarchyStats &stats() const { return hierStats; }
+
+    /** Zero hierarchy statistics (cache contents untouched). */
+    void resetStats() { hierStats = HierarchyStats(); }
+
+    /** Per-core private cache access counts, for hierarchy energy. */
+    u64 l1Accesses() const;
+    u64 l2Accesses() const;
+
+    /** Underlying LLC, e.g. for snapshots. */
+    LastLevelCache &llc() { return llcRef; }
+
+    /** Private-cache introspection (tests, inclusion checks). */
+    const PrivateCache &l1Cache(CoreId core) const { return *l1[core]; }
+    const PrivateCache &l2Cache(CoreId core) const { return *l2[core]; }
+    PrivateCache &l1Cache(CoreId core) { return *l1[core]; }
+    PrivateCache &l2Cache(CoreId core) { return *l2[core]; }
+
+    u32 numCores() const { return cfg.numCores; }
+
+  private:
+    /** Directory entry: which cores hold the block, who owns it in M. */
+    struct DirEntry
+    {
+        u8 sharers = 0;  ///< bit per core
+        int owner = -1;  ///< core with M, or -1
+    };
+
+    /** Invalidate private copies of @p addr in all cores but @p except;
+     * dirty data (if any) is merged into @p merged. @return dirty? */
+    bool invalidateOthers(Addr addr, int except, u8 *merged);
+
+    /** The LLC's inclusive back-invalidation hook. */
+    bool backInvalidate(Addr addr, u8 *data);
+
+    /** L2 victim handler: maintains L2⊇L1 inclusion and writebacks. */
+    void evictFromL2(CoreId core, Addr addr,
+                     const PrivateCache::Line &line);
+
+    /** Fill @p addr into core @p core's L2 and L1, with @p bytes. */
+    PrivateCache::Line &fillPrivate(CoreId core, Addr addr,
+                                    const u8 *bytes);
+
+    /** Fetch @p addr into core's hierarchy from LLC, resolving any
+     * remote M copy. @return extra latency. */
+    Tick fetchIntoPrivate(CoreId core, Addr addr, bool for_write);
+
+    DirEntry &dirEntry(Addr addr) { return directory[addr]; }
+    void dirMaybeErase(Addr addr);
+
+    HierarchyConfig cfg;
+    LastLevelCache &llcRef;
+    MainMemory &mem;
+    std::vector<std::unique_ptr<PrivateCache>> l1;
+    std::vector<std::unique_ptr<PrivateCache>> l2;
+    std::unordered_map<Addr, DirEntry> directory;
+    HierarchyStats hierStats;
+};
+
+} // namespace dopp
+
+#endif // DOPP_SIM_HIERARCHY_HH

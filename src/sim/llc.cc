@@ -1,0 +1,150 @@
+#include "llc.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace dopp
+{
+
+ConventionalLlc::ConventionalLlc(MainMemory &memory, u64 size_bytes,
+                                 u32 num_ways, Tick latency,
+                                 const ApproxRegistry *registry,
+                                 ReplPolicy policy)
+    : LastLevelCache(memory),
+      array(static_cast<u32>(size_bytes / blockBytes / num_ways),
+            num_ways, policy),
+      slicer(static_cast<u32>(size_bytes / blockBytes / num_ways)),
+      hitLatency(latency),
+      registry(registry)
+{
+    if (size_bytes % (static_cast<u64>(num_ways) * blockBytes) != 0)
+        fatal("LLC size %llu not divisible by ways*blockBytes",
+              static_cast<unsigned long long>(size_bytes));
+}
+
+void
+ConventionalLlc::evictLine(u32 set, u32 way)
+{
+    Line &line = array.at(set, way);
+    if (!line.valid)
+        return;
+
+    const Addr addr = slicer.addr(set, line.tag);
+    ++llcStats.evictions;
+
+    // Inclusive LLC: invalidate private copies; a dirty private copy
+    // supersedes our data for the writeback.
+    BlockData upward;
+    const bool upwardDirty = invalidateUpward(addr, upward.data());
+    if (upwardDirty) {
+        mem.writeBlock(addr, upward.data());
+        ++llcStats.dirtyWritebacks;
+    } else if (line.dirty) {
+        ++llcStats.dataArray.reads;
+        mem.writeBlock(addr, line.data.data());
+        ++llcStats.dirtyWritebacks;
+    }
+    line.valid = false;
+}
+
+LastLevelCache::FetchResult
+ConventionalLlc::fetch(Addr addr, u8 *data)
+{
+    ++llcStats.fetches;
+    ++llcStats.tagArray.reads;
+
+    const u32 set = slicer.set(addr);
+    const u64 tag = slicer.tag(addr);
+
+    const int way = array.findWay(set, tag);
+    if (way >= 0) {
+        ++llcStats.fetchHits;
+        ++llcStats.dataArray.reads;
+        array.touch(set, static_cast<u32>(way));
+        std::memcpy(data, array.at(set, static_cast<u32>(way)).data.data(),
+                    blockBytes);
+        return {true, hitLatency};
+    }
+
+    // Miss: fetch from memory and insert.
+    ++llcStats.fetchMisses;
+    const u32 victim = array.victimWay(set);
+    evictLine(set, victim);
+
+    Line &line = array.at(set, victim);
+    mem.readBlock(addr, line.data.data());
+    line.valid = true;
+    line.tag = tag;
+    line.dirty = false;
+    array.touchInsert(set, victim);
+    ++llcStats.tagArray.writes;
+    ++llcStats.dataArray.writes;
+
+    std::memcpy(data, line.data.data(), blockBytes);
+    return {false, hitLatency + mem.latency()};
+}
+
+void
+ConventionalLlc::writeback(Addr addr, const u8 *data)
+{
+    ++llcStats.writebacksIn;
+    ++llcStats.tagArray.reads;
+
+    const u32 set = slicer.set(addr);
+    const u64 tag = slicer.tag(addr);
+
+    const int way = array.findWay(set, tag);
+    if (way >= 0) {
+        Line &line = array.at(set, static_cast<u32>(way));
+        std::memcpy(line.data.data(), data, blockBytes);
+        line.dirty = true;
+        array.touch(set, static_cast<u32>(way));
+        ++llcStats.dataArray.writes;
+        return;
+    }
+
+    // No tag (should not happen with strict inclusion); send straight
+    // to memory rather than disturbing the set.
+    mem.writeBlock(addr, data);
+    ++llcStats.dirtyWritebacks;
+}
+
+bool
+ConventionalLlc::contains(Addr addr) const
+{
+    return array.findWay(slicer.set(addr), slicer.tag(addr)) >= 0;
+}
+
+void
+ConventionalLlc::forEachBlock(
+    const std::function<void(const LlcBlockInfo &)> &visit) const
+{
+    for (u32 s = 0; s < array.sets(); ++s) {
+        for (u32 w = 0; w < array.ways(); ++w) {
+            const Line &line = array.at(s, w);
+            if (!line.valid)
+                continue;
+            LlcBlockInfo info;
+            info.addr = slicer.addr(s, line.tag);
+            info.data = line.data.data();
+            info.dirty = line.dirty;
+            const ApproxRegion *region =
+                registry ? registry->find(info.addr) : nullptr;
+            info.approx = region != nullptr;
+            info.type = region ? region->type : ElemType::F32;
+            visit(info);
+        }
+    }
+}
+
+void
+ConventionalLlc::flush()
+{
+    for (u32 s = 0; s < array.sets(); ++s)
+        for (u32 w = 0; w < array.ways(); ++w)
+            evictLine(s, w);
+    array.invalidateAll();
+}
+
+} // namespace dopp

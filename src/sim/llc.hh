@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Last-level-cache interface shared by all LLC organizations.
+ *
+ * The memory hierarchy (hierarchy.hh) is LLC-agnostic: the baseline
+ * conventional cache, the split precise+Doppelgänger LLC, the unified
+ * uniDoppelgänger LLC and the dedup baseline all implement this
+ * interface. The LLC owns its interaction with main memory (demand
+ * fills, writebacks) and reports per-structure access counts that the
+ * energy model converts to Joules.
+ */
+
+#ifndef DOPP_SIM_LLC_HH
+#define DOPP_SIM_LLC_HH
+
+#include <functional>
+#include <string>
+
+#include "sim/approx.hh"
+#include "sim/memory.hh"
+#include "sim/set_assoc.hh"
+#include "util/types.hh"
+
+namespace dopp
+{
+
+/** Read/write access counters for one SRAM structure. */
+struct ArrayCounters
+{
+    u64 reads = 0;
+    u64 writes = 0;
+
+    u64 total() const { return reads + writes; }
+};
+
+/** Statistics exported by every LLC organization. */
+struct LlcStats
+{
+    u64 fetches = 0;        ///< demand fetches from private L2 misses
+    u64 fetchHits = 0;      ///< fetches that hit a (tag) entry
+    u64 fetchMisses = 0;    ///< fetches that went to memory
+    u64 writebacksIn = 0;   ///< dirty writebacks arriving from L2s
+
+    u64 evictions = 0;          ///< tag entries evicted
+    u64 dataEvictions = 0;      ///< data entries evicted (decoupled LLCs)
+    u64 dirtyWritebacks = 0;    ///< blocks written back to memory
+    u64 backInvalidations = 0;  ///< inclusive invalidations sent upward
+
+    ArrayCounters tagArray;   ///< address tag array accesses
+    ArrayCounters mtagArray;  ///< MTag array accesses (decoupled LLCs)
+    ArrayCounters dataArray;  ///< data array accesses
+
+    u64 mapGens = 0;          ///< map generations (168 pJ each, Sec 5.6)
+
+    /// Sum/count of tags linked to a data entry at data-evict time,
+    /// for the paper's "4.4 tags per data entry" statistic.
+    u64 linkedTagsSum = 0;
+    u64 linkedTagsSamples = 0;
+
+    double
+    avgLinkedTags() const
+    {
+        return linkedTagsSamples
+            ? static_cast<double>(linkedTagsSum) /
+                  static_cast<double>(linkedTagsSamples)
+            : 0.0;
+    }
+
+    double
+    missRate() const
+    {
+        return fetches ? static_cast<double>(fetchMisses) /
+            static_cast<double>(fetches) : 0.0;
+    }
+};
+
+/** Snapshot of one logical block resident in the LLC. */
+struct LlcBlockInfo
+{
+    Addr addr = 0;            ///< block address
+    const u8 *data = nullptr; ///< the 64 B the LLC would serve
+    bool dirty = false;       ///< per-tag dirty bit
+    bool approx = false;      ///< address lies in an annotated region
+    ElemType type = ElemType::F32; ///< element type if approximate
+};
+
+/**
+ * Callback into the hierarchy used for inclusive back-invalidation:
+ * invalidate all private copies of @p addr; if some private copy was
+ * dirty, copy its 64 bytes into @p data and return true.
+ */
+using BackInvalidateFn = std::function<bool(Addr addr, u8 *data)>;
+
+/** Abstract LLC. All addresses are block-aligned by callers. */
+class LastLevelCache
+{
+  public:
+    /** Outcome of a demand fetch. */
+    struct FetchResult
+    {
+        bool hit = false;  ///< tag hit (no memory access needed)
+        Tick latency = 0;  ///< cycles beyond the L2 (probe + memory)
+    };
+
+    explicit LastLevelCache(MainMemory &memory) : mem(memory) {}
+    virtual ~LastLevelCache() = default;
+
+    LastLevelCache(const LastLevelCache &) = delete;
+    LastLevelCache &operator=(const LastLevelCache &) = delete;
+
+    /**
+     * Demand fetch of the block at @p addr (an L2 miss). Always
+     * produces 64 bytes in @p data, going to memory on a miss.
+     */
+    virtual FetchResult fetch(Addr addr, u8 *data) = 0;
+
+    /** Dirty writeback of @p data for block @p addr from a private L2. */
+    virtual void writeback(Addr addr, const u8 *data) = 0;
+
+    /** @return whether @p addr currently has a tag in the LLC. */
+    virtual bool contains(Addr addr) const = 0;
+
+    /** Visit every resident logical block (one visit per tag). */
+    virtual void
+    forEachBlock(const std::function<void(const LlcBlockInfo &)> &visit)
+        const = 0;
+
+    /** Write all dirty blocks to memory and invalidate everything. */
+    virtual void flush() = 0;
+
+    /** Organization name for reports. */
+    virtual const char *name() const = 0;
+
+    /** Register the hierarchy's inclusive back-invalidation hook. */
+    virtual void
+    setBackInvalidate(BackInvalidateFn fn)
+    {
+        backInvalidate = std::move(fn);
+    }
+
+    /** Accumulated statistics. */
+    virtual const LlcStats &stats() const { return llcStats; }
+
+    /** Zero the statistics (cache contents untouched). */
+    virtual void resetStats() { llcStats = LlcStats(); }
+
+  protected:
+    /**
+     * Run the inclusive back-invalidation hook for @p addr.
+     * @return true iff a private copy was dirty; @p data then holds it.
+     */
+    bool
+    invalidateUpward(Addr addr, u8 *data)
+    {
+        ++llcStats.backInvalidations;
+        return backInvalidate ? backInvalidate(addr, data) : false;
+    }
+
+    MainMemory &mem;
+    LlcStats llcStats;
+
+  private:
+    BackInvalidateFn backInvalidate;
+};
+
+/**
+ * Conventional set-associative writeback LLC: the paper's 2 MB, 16-way,
+ * 6-cycle baseline (Table 1). Also instantiated at 1 MB as the precise
+ * half of the split Doppelgänger organization.
+ */
+class ConventionalLlc : public LastLevelCache
+{
+  public:
+    /**
+     * @param memory backing store
+     * @param size_bytes total data capacity
+     * @param num_ways associativity
+     * @param latency total hit latency in cycles
+     * @param registry annotation registry (for snapshot labeling only);
+     *                 may be nullptr
+     */
+    ConventionalLlc(MainMemory &memory, u64 size_bytes, u32 num_ways,
+                    Tick latency, const ApproxRegistry *registry,
+                    ReplPolicy policy = ReplPolicy::LRU);
+
+    FetchResult fetch(Addr addr, u8 *data) override;
+    void writeback(Addr addr, const u8 *data) override;
+    bool contains(Addr addr) const override;
+    void forEachBlock(
+        const std::function<void(const LlcBlockInfo &)> &visit)
+        const override;
+    void flush() override;
+    const char *name() const override { return "conventional"; }
+
+    /** Number of block entries. */
+    u64 entries() const { return static_cast<u64>(array.sets()) *
+        array.ways(); }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        u64 tag = 0;
+        bool dirty = false;
+        BlockData data = {};
+    };
+
+    /** Evict the line at (set, way), honoring inclusion and dirtiness. */
+    void evictLine(u32 set, u32 way);
+
+    SetAssocArray<Line> array;
+    AddrSlicer slicer;
+    Tick hitLatency;
+    const ApproxRegistry *registry;
+};
+
+} // namespace dopp
+
+#endif // DOPP_SIM_LLC_HH

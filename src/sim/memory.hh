@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Sparse functional backing store standing in for off-chip DRAM.
+ *
+ * Blocks are materialized on first touch (zero-filled, as an OS would
+ * hand out zeroed pages). Demand reads and writebacks are counted so the
+ * harness can report off-chip traffic (paper Fig 12); poke/peek provide
+ * traffic-free functional access for workload input setup and output
+ * collection (the paper's inputs arrive via I/O, not the LLC).
+ */
+
+#ifndef DOPP_SIM_MEMORY_HH
+#define DOPP_SIM_MEMORY_HH
+
+#include <array>
+#include <cstring>
+#include <unordered_map>
+
+#include "util/types.hh"
+
+namespace dopp
+{
+
+/** One cache block worth of raw bytes. */
+using BlockData = std::array<u8, blockBytes>;
+
+/** Main-memory model: functional store plus traffic counters. */
+class MainMemory
+{
+  public:
+    /** Fixed access latency in cycles (Table 1: 160 cycles). */
+    explicit MainMemory(Tick latency = 160) : latencyCycles(latency) {}
+
+    /** Demand-read block at @p addr into @p data; counts traffic. */
+    void
+    readBlock(Addr addr, u8 *data)
+    {
+        ++demandReads;
+        const BlockData &b = blockAt(blockAlign(addr));
+        std::memcpy(data, b.data(), blockBytes);
+    }
+
+    /** Writeback block at @p addr from @p data; counts traffic. */
+    void
+    writeBlock(Addr addr, const u8 *data)
+    {
+        ++writebacks;
+        BlockData &b = blockAt(blockAlign(addr));
+        std::memcpy(b.data(), data, blockBytes);
+    }
+
+    /** Functional write without traffic accounting (input setup). */
+    void
+    poke(Addr addr, const void *src, u64 len)
+    {
+        const u8 *p = static_cast<const u8 *>(src);
+        Addr a = addr;
+        u64 left = len;
+        while (left > 0) {
+            BlockData &b = blockAt(blockAlign(a));
+            const unsigned off = blockOffset(a);
+            const u64 chunk = std::min<u64>(left, blockBytes - off);
+            std::memcpy(b.data() + off, p, chunk);
+            p += chunk;
+            a += chunk;
+            left -= chunk;
+        }
+    }
+
+    /** Functional read without traffic accounting (output collection). */
+    void
+    peek(Addr addr, void *dst, u64 len) const
+    {
+        u8 *p = static_cast<u8 *>(dst);
+        Addr a = addr;
+        u64 left = len;
+        static const BlockData zeros = {};
+        while (left > 0) {
+            auto it = store.find(blockAlign(a));
+            const BlockData &b = it == store.end() ? zeros : it->second;
+            const unsigned off = blockOffset(a);
+            const u64 chunk = std::min<u64>(left, blockBytes - off);
+            std::memcpy(p, b.data() + off, chunk);
+            p += chunk;
+            a += chunk;
+            left -= chunk;
+        }
+    }
+
+    /** Access latency charged per demand miss that reaches memory. */
+    Tick latency() const { return latencyCycles; }
+
+    /** Demand block reads since the last resetStats(). */
+    u64 reads() const { return demandReads; }
+
+    /** Block writebacks since the last resetStats(). */
+    u64 writes() const { return writebacks; }
+
+    /** Total off-chip block transfers. */
+    u64 traffic() const { return demandReads + writebacks; }
+
+    /** Zero the traffic counters (not the contents). */
+    void
+    resetStats()
+    {
+        demandReads = 0;
+        writebacks = 0;
+    }
+
+  private:
+    BlockData &
+    blockAt(Addr aligned)
+    {
+        return store[aligned]; // zero-fills on first touch
+    }
+
+    std::unordered_map<Addr, BlockData> store;
+    Tick latencyCycles;
+    u64 demandReads = 0;
+    u64 writebacks = 0;
+};
+
+} // namespace dopp
+
+#endif // DOPP_SIM_MEMORY_HH

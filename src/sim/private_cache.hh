@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Private per-core writeback cache, used for both L1 and L2 (Table 1:
+ * 16 KB 4-way L1, 128 KB 8-way L2). Coherence state (MSI) is tracked by
+ * the hierarchy's directory; lines here carry only valid/dirty/data.
+ */
+
+#ifndef DOPP_SIM_PRIVATE_CACHE_HH
+#define DOPP_SIM_PRIVATE_CACHE_HH
+
+#include <cstring>
+#include <functional>
+
+#include "sim/memory.hh"
+#include "sim/set_assoc.hh"
+#include "util/types.hh"
+
+namespace dopp
+{
+
+/** A private writeback, write-allocate cache level. */
+class PrivateCache
+{
+  public:
+    struct Line
+    {
+        bool valid = false;
+        u64 tag = 0;
+        bool dirty = false;
+        BlockData data = {};
+    };
+
+    PrivateCache(u64 size_bytes, u32 num_ways,
+                 ReplPolicy policy = ReplPolicy::LRU)
+        : array(static_cast<u32>(size_bytes / blockBytes / num_ways),
+                num_ways, policy),
+          slicer(static_cast<u32>(size_bytes / blockBytes / num_ways))
+    {
+    }
+
+    /** @return the resident line for @p addr, or nullptr. No touch. */
+    Line *
+    find(Addr addr)
+    {
+        const int way = array.findWay(slicer.set(addr), slicer.tag(addr));
+        if (way < 0)
+            return nullptr;
+        return &array.at(slicer.set(addr), static_cast<u32>(way));
+    }
+
+    const Line *
+    find(Addr addr) const
+    {
+        const int way = array.findWay(slicer.set(addr), slicer.tag(addr));
+        if (way < 0)
+            return nullptr;
+        return &array.at(slicer.set(addr), static_cast<u32>(way));
+    }
+
+    /** Mark @p addr recently used. @pre the line is resident. */
+    void
+    touch(Addr addr)
+    {
+        const int way = array.findWay(slicer.set(addr), slicer.tag(addr));
+        if (way >= 0)
+            array.touch(slicer.set(addr), static_cast<u32>(way));
+    }
+
+    /**
+     * Allocate a line for @p addr, evicting a victim if needed.
+     * If a valid victim is displaced, @p on_evict is called with its
+     * address and line contents *before* the new line is installed.
+     * @return the freshly installed (valid, clean, zeroed-data) line.
+     */
+    Line &
+    allocate(Addr addr,
+             const std::function<void(Addr, const Line &)> &on_evict)
+    {
+        const u32 set = slicer.set(addr);
+        const u32 victim = array.victimWay(set);
+        Line &line = array.at(set, victim);
+        if (line.valid && on_evict)
+            on_evict(slicer.addr(set, line.tag), line);
+        line.valid = true;
+        line.tag = slicer.tag(addr);
+        line.dirty = false;
+        line.data = {};
+        array.touchInsert(set, victim);
+        return line;
+    }
+
+    /** Drop @p addr if resident. @return whether a line was dropped. */
+    bool
+    invalidate(Addr addr)
+    {
+        Line *line = find(addr);
+        if (!line)
+            return false;
+        line->valid = false;
+        return true;
+    }
+
+    /** Visit every valid line as (block address, line). */
+    void
+    forEachLine(const std::function<void(Addr, Line &)> &visit)
+    {
+        for (u32 s = 0; s < array.sets(); ++s) {
+            for (u32 w = 0; w < array.ways(); ++w) {
+                Line &line = array.at(s, w);
+                if (line.valid)
+                    visit(slicer.addr(s, line.tag), line);
+            }
+        }
+    }
+
+    /** Invalidate everything without writebacks. */
+    void invalidateAll() { array.invalidateAll(); }
+
+    u32 sets() const { return array.sets(); }
+    u32 ways() const { return array.ways(); }
+
+    /** Access counters for the energy model. */
+    u64 accesses = 0;
+    u64 misses = 0;
+
+  private:
+    SetAssocArray<Line> array;
+    AddrSlicer slicer;
+};
+
+} // namespace dopp
+
+#endif // DOPP_SIM_PRIVATE_CACHE_HH

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Generic set-associative array with pluggable replacement.
+ *
+ * Used for every lookup structure in the repository: private L1/L2
+ * caches, the baseline LLC, the Doppelgänger tag array, the MTag array
+ * and the dedup hash array. The entry type supplies `valid` and `tag`
+ * fields; the array manages indexing and replacement metadata.
+ */
+
+#ifndef DOPP_SIM_SET_ASSOC_HH
+#define DOPP_SIM_SET_ASSOC_HH
+
+#include <vector>
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/types.hh"
+
+namespace dopp
+{
+
+/** Replacement policy selector for a SetAssocArray. */
+enum class ReplPolicy : u8
+{
+    LRU,    ///< least-recently-used (the paper's policy, Sec 3.5)
+    FIFO,   ///< first-in-first-out (stamp set only on insert)
+    RANDOM, ///< uniform random victim
+};
+
+/** Human-readable policy name. */
+inline const char *
+replPolicyName(ReplPolicy p)
+{
+    switch (p) {
+      case ReplPolicy::LRU: return "lru";
+      case ReplPolicy::FIFO: return "fifo";
+      case ReplPolicy::RANDOM: return "random";
+    }
+    return "?";
+}
+
+/**
+ * Set-associative array of entries with LRU/FIFO/RANDOM replacement.
+ *
+ * @tparam Entry must expose `bool valid` and `u64 tag` members; all
+ * other fields are the client's business.
+ */
+template <typename Entry>
+class SetAssocArray
+{
+  public:
+    /**
+     * @param num_sets number of sets (any positive count; address-
+     *        indexed clients additionally require a power of two via
+     *        AddrSlicer, but map-indexed arrays may be fractional)
+     * @param num_ways associativity
+     * @param policy victim-selection policy
+     */
+    SetAssocArray(u32 num_sets, u32 num_ways,
+                  ReplPolicy policy = ReplPolicy::LRU)
+        : numSets(num_sets), numWays(num_ways), policy(policy),
+          slots(static_cast<size_t>(num_sets) * num_ways),
+          stamps(static_cast<size_t>(num_sets) * num_ways, 0),
+          rng(0xD0BBE16A)
+    {
+        if (num_sets == 0)
+            fatal("set count must be non-zero");
+        if (num_ways == 0)
+            fatal("associativity must be non-zero");
+    }
+
+    u32 sets() const { return numSets; }
+    u32 ways() const { return numWays; }
+
+    /** Entry at (@p set, @p way); bounds-checked in debug builds. */
+    Entry &
+    at(u32 set, u32 way)
+    {
+        DOPP_ASSERT(set < numSets && way < numWays);
+        return slots[static_cast<size_t>(set) * numWays + way];
+    }
+
+    const Entry &
+    at(u32 set, u32 way) const
+    {
+        DOPP_ASSERT(set < numSets && way < numWays);
+        return slots[static_cast<size_t>(set) * numWays + way];
+    }
+
+    /**
+     * Find the valid entry in @p set whose tag equals @p tag.
+     * Does not touch replacement state.
+     * @return way index, or -1 if not present.
+     */
+    int
+    findWay(u32 set, u64 tag) const
+    {
+        for (u32 w = 0; w < numWays; ++w) {
+            const Entry &e = at(set, w);
+            if (e.valid && e.tag == tag)
+                return static_cast<int>(w);
+        }
+        return -1;
+    }
+
+    /**
+     * Choose a victim way in @p set: an invalid way if one exists,
+     * otherwise per the replacement policy.
+     */
+    u32
+    victimWay(u32 set)
+    {
+        for (u32 w = 0; w < numWays; ++w) {
+            if (!at(set, w).valid)
+                return w;
+        }
+        if (policy == ReplPolicy::RANDOM)
+            return static_cast<u32>(rng.below(numWays));
+        // LRU and FIFO: smallest stamp.
+        u32 victim = 0;
+        u64 best = stamp(set, 0);
+        for (u32 w = 1; w < numWays; ++w) {
+            if (stamp(set, w) < best) {
+                best = stamp(set, w);
+                victim = w;
+            }
+        }
+        return victim;
+    }
+
+    /** Record a use of (@p set, @p way); LRU only (FIFO ignores it). */
+    void
+    touch(u32 set, u32 way)
+    {
+        if (policy == ReplPolicy::LRU)
+            setStamp(set, way, ++clock);
+    }
+
+    /** Record an insertion at (@p set, @p way); updates all policies. */
+    void
+    touchInsert(u32 set, u32 way)
+    {
+        setStamp(set, way, ++clock);
+    }
+
+    /** Invalidate every entry (replacement state is reset too). */
+    void
+    invalidateAll()
+    {
+        for (auto &s : slots)
+            s.valid = false;
+        for (auto &st : stamps)
+            st = 0;
+        clock = 0;
+    }
+
+    /** Count of valid entries across the whole array. */
+    u64
+    validCount() const
+    {
+        u64 n = 0;
+        for (const auto &s : slots)
+            if (s.valid)
+                ++n;
+        return n;
+    }
+
+  private:
+    u64
+    stamp(u32 set, u32 way) const
+    {
+        return stamps[static_cast<size_t>(set) * numWays + way];
+    }
+
+    void
+    setStamp(u32 set, u32 way, u64 v)
+    {
+        stamps[static_cast<size_t>(set) * numWays + way] = v;
+    }
+
+    u32 numSets;
+    u32 numWays;
+    ReplPolicy policy;
+    std::vector<Entry> slots;
+    std::vector<u64> stamps;
+    u64 clock = 0;
+    Rng rng;
+};
+
+/**
+ * Address-to-(set, tag) slicing for a block-grained structure with
+ * @p numSets sets: set = addr[6 + log2(sets) - 1 : 6], tag = higher bits.
+ */
+struct AddrSlicer
+{
+    explicit AddrSlicer(u32 num_sets)
+        : setBits(floorLog2(num_sets))
+    {
+        DOPP_ASSERT(isPowerOf2(num_sets));
+    }
+
+    u32
+    set(Addr a) const
+    {
+        if (setBits == 0)
+            return 0;
+        return static_cast<u32>((a >> blockOffsetBits) & lowMask(setBits));
+    }
+
+    u64
+    tag(Addr a) const
+    {
+        return a >> (blockOffsetBits + setBits);
+    }
+
+    /** Rebuild a block address from (set, tag). */
+    Addr
+    addr(u32 set_idx, u64 tag_val) const
+    {
+        return (tag_val << (blockOffsetBits + setBits)) |
+            (static_cast<Addr>(set_idx) << blockOffsetBits);
+    }
+
+    unsigned setBits;
+};
+
+} // namespace dopp
+
+#endif // DOPP_SIM_SET_ASSOC_HH

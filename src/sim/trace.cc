@@ -1,0 +1,153 @@
+#include "trace.hh"
+
+#include <cstring>
+#include <memory>
+
+#include "util/logging.hh"
+
+namespace dopp
+{
+
+const char traceMagic[8] = {'D', 'O', 'P', 'P', 'T', 'R', 'C', '1'};
+
+TraceWriter::TraceWriter(const std::string &path)
+{
+    file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        fatal("cannot open trace '%s' for writing", path.c_str());
+    // Header: magic + placeholder count (fixed on close()).
+    std::fwrite(traceMagic, 1, sizeof(traceMagic), file);
+    const u64 zero = 0;
+    std::fwrite(&zero, sizeof(zero), 1, file);
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::append(const TraceRecord &record)
+{
+    DOPP_ASSERT(file);
+    DOPP_ASSERT(record.size >= 1 && record.size <= 8);
+    if (std::fwrite(&record, sizeof(record), 1, file) != 1)
+        fatal("trace write failed");
+    ++records;
+}
+
+void
+TraceWriter::close()
+{
+    if (!file)
+        return;
+    // Patch the record count into the header.
+    std::fseek(file, sizeof(traceMagic), SEEK_SET);
+    std::fwrite(&records, sizeof(records), 1, file);
+    std::fclose(file);
+    file = nullptr;
+}
+
+TraceReader::TraceReader(const std::string &path)
+{
+    file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        fatal("cannot open trace '%s'", path.c_str());
+    char magic[8];
+    if (std::fread(magic, 1, sizeof(magic), file) != sizeof(magic) ||
+        std::memcmp(magic, traceMagic, sizeof(magic)) != 0) {
+        fatal("'%s' is not a doppelganger trace", path.c_str());
+    }
+    if (std::fread(&total, sizeof(total), 1, file) != 1)
+        fatal("trace '%s' has a truncated header", path.c_str());
+}
+
+TraceReader::~TraceReader()
+{
+    if (file)
+        std::fclose(file);
+}
+
+bool
+TraceReader::next(TraceRecord &record)
+{
+    if (consumed >= total)
+        return false;
+    if (std::fread(&record, sizeof(record), 1, file) != 1)
+        fatal("trace truncated at record %llu",
+              static_cast<unsigned long long>(consumed));
+    ++consumed;
+    return true;
+}
+
+void
+TraceReader::rewind()
+{
+    std::fseek(file,
+               static_cast<long>(sizeof(traceMagic) + sizeof(u64)),
+               SEEK_SET);
+    consumed = 0;
+}
+
+u64
+interleaveTraces(const std::vector<std::string> &inputs,
+                 const std::string &output, u64 chunk,
+                 Addr address_stride, u32 machine_cores)
+{
+    DOPP_ASSERT(chunk > 0);
+    if (inputs.empty())
+        fatal("interleaveTraces: no inputs");
+    if (inputs.size() > machine_cores)
+        fatal("interleaveTraces: more programs than cores");
+
+    std::vector<std::unique_ptr<TraceReader>> readers;
+    for (const auto &path : inputs)
+        readers.push_back(std::make_unique<TraceReader>(path));
+
+    const u32 coresPer =
+        machine_cores / static_cast<u32>(inputs.size());
+    TraceWriter writer(output);
+
+    bool anyLeft = true;
+    while (anyLeft) {
+        anyLeft = false;
+        for (size_t i = 0; i < readers.size(); ++i) {
+            TraceRecord rec;
+            for (u64 k = 0; k < chunk; ++k) {
+                if (!readers[i]->next(rec))
+                    break;
+                rec.addr += address_stride * i;
+                rec.core = static_cast<u8>(
+                    static_cast<u32>(i) * coresPer +
+                    rec.core % coresPer);
+                writer.append(rec);
+                anyLeft = true;
+            }
+        }
+    }
+    const u64 written = writer.count();
+    writer.close();
+    return written;
+}
+
+ReplayStats
+replayTrace(TraceReader &trace, MemorySystem &system)
+{
+    ReplayStats stats;
+    TraceRecord rec;
+    while (trace.next(rec)) {
+        u64 payload = rec.payload;
+        const Tick lat =
+            system.access(rec.core, rec.addr, rec.isWrite != 0,
+                          rec.size, &payload);
+        stats.totalLatency += lat;
+        ++stats.accesses;
+        if (rec.isWrite)
+            ++stats.writes;
+        else
+            ++stats.reads;
+    }
+    return stats;
+}
+
+} // namespace dopp

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by address slicing and map generation.
+ */
+
+#ifndef DOPP_UTIL_BITFIELD_HH
+#define DOPP_UTIL_BITFIELD_HH
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace dopp
+{
+
+/** @return true iff @p x is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(u64 x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Integer floor(log2(x)). @pre x > 0. */
+constexpr unsigned
+floorLog2(u64 x)
+{
+    unsigned bits = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+/** Integer ceil(log2(x)). @pre x > 0. */
+constexpr unsigned
+ceilLog2(u64 x)
+{
+    return isPowerOf2(x) ? floorLog2(x) : floorLog2(x) + 1;
+}
+
+/** Extract bits [hi:lo] (inclusive) of @p value. @pre hi >= lo, hi < 64. */
+constexpr u64
+bits(u64 value, unsigned hi, unsigned lo)
+{
+    const unsigned width = hi - lo + 1;
+    const u64 mask = width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    return (value >> lo) & mask;
+}
+
+/** Mask keeping the low @p n bits. */
+constexpr u64
+lowMask(unsigned n)
+{
+    return n >= 64 ? ~0ULL : ((1ULL << n) - 1);
+}
+
+} // namespace dopp
+
+#endif // DOPP_UTIL_BITFIELD_HH

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All workloads and synthetic inputs are seeded explicitly so every
+ * experiment is exactly reproducible run-to-run; we never touch the host's
+ * entropy sources. The generator is xoshiro256**, seeded via splitmix64.
+ */
+
+#ifndef DOPP_UTIL_RANDOM_HH
+#define DOPP_UTIL_RANDOM_HH
+
+#include <cmath>
+
+#include "types.hh"
+
+namespace dopp
+{
+
+/**
+ * Deterministic 64-bit PRNG (xoshiro256**) with convenience draws.
+ * Cheap to copy; each workload owns its own instance.
+ */
+class Rng
+{
+  public:
+    /** Construct from a seed; equal seeds yield equal streams. */
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /** Re-initialize the state from @p seed via splitmix64. */
+    void
+    reseed(u64 seed)
+    {
+        for (auto &word : state)
+            word = splitmix64(seed);
+        gaussianValid = false;
+    }
+
+    /** Next raw 64-bit draw. */
+    u64
+    next()
+    {
+        const u64 result = rotl(state[1] * 5, 7) * 9;
+        const u64 t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    u64
+    below(u64 bound)
+    {
+        // Simple modulo; bias is negligible for bounds << 2^64 and
+        // determinism is what matters here.
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    i64
+    range(i64 lo, i64 hi)
+    {
+        return lo + static_cast<i64>(below(static_cast<u64>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Standard normal draw (Box-Muller with caching). */
+    double
+    gaussian()
+    {
+        if (gaussianValid) {
+            gaussianValid = false;
+            return gaussianSpare;
+        }
+        double u1 = uniform();
+        double u2 = uniform();
+        // Avoid log(0).
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 2.0 * 3.14159265358979323846 * u2;
+        gaussianSpare = r * std::sin(theta);
+        gaussianValid = true;
+        return r * std::cos(theta);
+    }
+
+    /** Normal draw with mean @p mu and standard deviation @p sigma. */
+    double
+    gaussian(double mu, double sigma)
+    {
+        return mu + sigma * gaussian();
+    }
+
+  private:
+    static u64
+    rotl(u64 x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    /** splitmix64 step, used only for seeding. */
+    static u64
+    splitmix64(u64 &x)
+    {
+        x += 0x9e3779b97f4a7c15ULL;
+        u64 z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    u64 state[4] = {};
+    double gaussianSpare = 0.0;
+    bool gaussianValid = false;
+};
+
+} // namespace dopp
+
+#endif // DOPP_UTIL_RANDOM_HH

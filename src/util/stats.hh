@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used by the simulator and harness.
+ */
+
+#ifndef DOPP_UTIL_STATS_HH
+#define DOPP_UTIL_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "types.hh"
+
+namespace dopp
+{
+
+/**
+ * Running mean / variance / extrema accumulator (Welford's algorithm).
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void
+    sample(double x)
+    {
+        ++n;
+        const double delta = x - meanVal;
+        meanVal += delta / static_cast<double>(n);
+        m2 += delta * (x - meanVal);
+        minVal = std::min(minVal, x);
+        maxVal = std::max(maxVal, x);
+    }
+
+    /** Number of samples seen. */
+    u64 count() const { return n; }
+
+    /** Sample mean (0 if empty). */
+    double mean() const { return n ? meanVal : 0.0; }
+
+    /** Population variance (0 if fewer than two samples). */
+    double
+    variance() const
+    {
+        return n > 1 ? m2 / static_cast<double>(n) : 0.0;
+    }
+
+    /** Population standard deviation. */
+    double stddev() const { return std::sqrt(variance()); }
+
+    /** Smallest sample (+inf if empty). */
+    double min() const { return minVal; }
+
+    /** Largest sample (-inf if empty). */
+    double max() const { return maxVal; }
+
+    /** Reset to the empty state. */
+    void
+    reset()
+    {
+        n = 0;
+        meanVal = 0.0;
+        m2 = 0.0;
+        minVal = std::numeric_limits<double>::infinity();
+        maxVal = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    u64 n = 0;
+    double meanVal = 0.0;
+    double m2 = 0.0;
+    double minVal = std::numeric_limits<double>::infinity();
+    double maxVal = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
+ * first/last bucket.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, unsigned buckets)
+        : lo(lo), hi(hi), counts(buckets, 0)
+    {
+    }
+
+    /** Add one sample. */
+    void
+    sample(double x)
+    {
+        double t = (x - lo) / (hi - lo);
+        t = std::clamp(t, 0.0, 1.0);
+        auto idx = static_cast<size_t>(t * static_cast<double>(
+            counts.size()));
+        if (idx >= counts.size())
+            idx = counts.size() - 1;
+        ++counts[idx];
+        ++total;
+    }
+
+    /** Count in bucket @p i. */
+    u64 bucket(size_t i) const { return counts.at(i); }
+
+    /** Number of buckets. */
+    size_t buckets() const { return counts.size(); }
+
+    /** Total samples. */
+    u64 samples() const { return total; }
+
+  private:
+    double lo;
+    double hi;
+    std::vector<u64> counts;
+    u64 total = 0;
+};
+
+/** Geometric mean of a vector of positive values (1.0 if empty). */
+inline double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 1.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += std::log(x);
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+/** Arithmetic mean (0.0 if empty). */
+inline double
+amean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += x;
+    return acc / static_cast<double>(xs.size());
+}
+
+} // namespace dopp
+
+#endif // DOPP_UTIL_STATS_HH

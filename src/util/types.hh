@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fundamental type aliases shared by all doppelganger libraries.
+ *
+ * The simulated machine follows the paper's methodology section: a 32-bit
+ * physical address space, 64-byte cache blocks and a cycle-based notion of
+ * time.
+ */
+
+#ifndef DOPP_UTIL_TYPES_HH
+#define DOPP_UTIL_TYPES_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace dopp
+{
+
+/** Physical address. The paper assumes a 32-bit address space (Sec 5.6);
+ * we keep 64 bits of storage and mask where bit counts matter. */
+using Addr = std::uint64_t;
+
+/** Simulated time in core clock cycles (1 GHz cores per Table 1). */
+using Tick = std::uint64_t;
+
+/** Identifier of a processor core, 0 .. numCores-1. */
+using CoreId = std::uint32_t;
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Cache block size in bytes. Fixed at 64 B throughout the paper. */
+constexpr unsigned blockBytes = 64;
+
+/** log2 of the block size; used for address slicing. */
+constexpr unsigned blockOffsetBits = 6;
+
+/** Align an address down to its containing block. */
+constexpr Addr
+blockAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(blockBytes - 1);
+}
+
+/** Byte offset of an address within its block. */
+constexpr unsigned
+blockOffset(Addr a)
+{
+    return static_cast<unsigned>(a & (blockBytes - 1));
+}
+
+} // namespace dopp
+
+#endif // DOPP_UTIL_TYPES_HH

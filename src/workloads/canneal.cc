@@ -1,0 +1,166 @@
+/**
+ * @file
+ * canneal: simulated-annealing netlist placement (PARSEC).
+ *
+ * Netlist elements are placed on a 2-D grid; annealing swaps element
+ * pairs to minimize total half-perimeter wirelength. Element
+ * coordinates are annotated approximate integers (Table 2: 38.0%
+ * approximate footprint); the netlist topology is precise. The random
+ * element selection gives canneal its hallmark random LLC access
+ * pattern (the paper's most miss-sensitive workload, Sec 5.2).
+ *
+ * Error metric: relative error of the final routing cost [32].
+ */
+
+#include <cmath>
+
+#include "util/random.hh"
+#include "workloads/error_metrics.hh"
+#include "workloads/workload.hh"
+
+namespace dopp
+{
+
+namespace
+{
+
+constexpr i32 gridMax = 4095;
+constexpr unsigned fanout = 3; ///< nets touched per element
+
+class Canneal : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    const char *name() const override { return "canneal"; }
+
+    void
+    run(SimRuntime &rt) override
+    {
+        const u64 n = scaled(48000, 1024); // elements
+        const u64 attempts = scaled(12000, 512);
+        Rng rng(cfg.seed);
+
+        SimArray<i32> posX(rt, n, "posX");
+        SimArray<i32> posY(rt, n, "posY");
+        // The declared range is the architecture's full 16-bit
+        // coordinate space (a conservative estimate per Sec 4.1), not
+        // this netlist's particular grid.
+        posX.annotateApprox(0.0, 65535.0, "canneal.x");
+        posY.annotateApprox(0.0, 65535.0, "canneal.y");
+        // Precise netlist: each element connects to `fanout` others,
+        // mostly local with a long-range tail (Rent's rule flavour).
+        SimArray<i32> nets(rt, n * fanout, "netlist");
+
+        // Initial placement is row-major on a coarse grid, as placement
+        // tools seed: element coordinates in one cache block are then
+        // consecutive (x) or identical (y), the block-level structure
+        // that gives canneal its LLC value similarity (Fig 7).
+        const u64 gridW = 256;
+        for (u64 i = 0; i < n; ++i) {
+            const i64 gx = static_cast<i64>((i % gridW) * 16);
+            const i64 gy = static_cast<i64>((i / gridW) * 16);
+            posX.poke(i, static_cast<i32>(
+                std::min<i64>(gx, gridMax)));
+            posY.poke(i, static_cast<i32>(
+                std::min<i64>(gy, gridMax)));
+            for (unsigned f = 0; f < fanout; ++f) {
+                u64 peer;
+                if (rng.below(100) < 70) {
+                    const i64 d = rng.range(-64, 64);
+                    peer = static_cast<u64>(
+                        (static_cast<i64>(i) + d +
+                         static_cast<i64>(n)) % static_cast<i64>(n));
+                } else {
+                    peer = rng.below(n);
+                }
+                nets.poke(i * fanout + f, static_cast<i32>(peer));
+            }
+        }
+
+        // Wirelength contribution of one element (simulated reads).
+        auto elementCost = [&](u64 e) {
+            const double ex = posX.get(e);
+            const double ey = posY.get(e);
+            double c = 0.0;
+            for (unsigned f = 0; f < fanout; ++f) {
+                const u64 peer = static_cast<u64>(
+                    nets.get(e * fanout + f));
+                c += std::abs(ex - static_cast<double>(posX.get(peer))) +
+                    std::abs(ey - static_cast<double>(posY.get(peer)));
+            }
+            return c;
+        };
+
+        // Annealing: each chunk of attempts runs on a different core,
+        // as canneal's threads work on independent random pairs.
+        double temperature = 800.0;
+        rt.parallelFor(0, attempts, 32, [&](u64 a) {
+            (void)a;
+            const u64 e1 = rng.below(n);
+            // Most swap partners are nearby in element order (real
+            // annealers bias moves by locality as they cool); a tail
+            // of fully random partners keeps the global mixing.
+            u64 e2;
+            if (rng.below(100) < 70) {
+                const i64 d = rng.range(-512, 512);
+                e2 = static_cast<u64>(
+                    (static_cast<i64>(e1) + d + static_cast<i64>(n)) %
+                    static_cast<i64>(n));
+            } else {
+                e2 = rng.below(n);
+            }
+            if (e1 == e2)
+                return;
+            const double before = elementCost(e1) + elementCost(e2);
+            // Swap the two elements' positions.
+            const i32 x1 = posX.get(e1);
+            const i32 y1 = posY.get(e1);
+            const i32 x2 = posX.get(e2);
+            const i32 y2 = posY.get(e2);
+            posX.set(e1, x2);
+            posY.set(e1, y2);
+            posX.set(e2, x1);
+            posY.set(e2, y1);
+            const double after = elementCost(e1) + elementCost(e2);
+            const double delta = after - before;
+            const bool accept = delta < 0.0 ||
+                rng.uniform() < std::exp(-delta / temperature);
+            if (!accept) {
+                posX.set(e1, x1);
+                posY.set(e1, y1);
+                posX.set(e2, x2);
+                posY.set(e2, y2);
+            }
+            temperature *= 0.99995;
+            rt.addWork(30);
+        });
+
+        // Final routing cost over a deterministic element sample.
+        double cost = 0.0;
+        rt.setCore(0);
+        const u64 stride = std::max<u64>(1, n / 30000);
+        for (u64 e = 0; e < n; e += stride)
+            cost += elementCost(e);
+
+        out.clear();
+        out.push_back(cost);
+    }
+
+    double
+    outputError(const std::vector<double> &approx,
+                const std::vector<double> &precise) const override
+    {
+        return scalarRelativeError(approx.at(0), precise.at(0));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeCanneal(const WorkloadConfig &config)
+{
+    return std::make_unique<Canneal>(config);
+}
+
+} // namespace dopp

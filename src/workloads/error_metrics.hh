@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Application output-error metrics (paper Sec 4, 4.1).
+ *
+ * The paper takes each benchmark's error metric from prior work
+ * [27, 32, 8]; all errors pertain to the application's *final output*,
+ * never to individual memory accesses. These helpers implement the
+ * common shapes: mean relative error (pricing/angle outputs),
+ * normalized mean absolute error (pixels), misclassification rate
+ * (jmeint), and top-K result-set difference (ferret's pessimistic
+ * query metric).
+ */
+
+#ifndef DOPP_WORKLOADS_ERROR_METRICS_HH
+#define DOPP_WORKLOADS_ERROR_METRICS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace dopp
+{
+
+/**
+ * Mean of |a−p| / max(|p|, floor) over paired outputs, with each
+ * element's contribution capped at 100%. The floor guards against
+ * division blow-up when the true value is near zero; the cap keeps a
+ * handful of tiny-denominator outputs from dominating the average
+ * (standard practice in the approximate-computing error literature).
+ */
+inline double
+meanRelativeError(const std::vector<double> &approx,
+                  const std::vector<double> &precise, double floor = 1e-6)
+{
+    DOPP_ASSERT(approx.size() == precise.size());
+    if (approx.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (size_t i = 0; i < approx.size(); ++i) {
+        const double denom = std::max(std::abs(precise[i]), floor);
+        sum += std::min(1.0, std::abs(approx[i] - precise[i]) / denom);
+    }
+    return sum / static_cast<double>(approx.size());
+}
+
+/** Mean |a−p| scaled by @p range (e.g. 255 for pixels). */
+inline double
+meanAbsErrorNormalized(const std::vector<double> &approx,
+                       const std::vector<double> &precise, double range)
+{
+    DOPP_ASSERT(approx.size() == precise.size());
+    DOPP_ASSERT(range > 0.0);
+    if (approx.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (size_t i = 0; i < approx.size(); ++i)
+        sum += std::abs(approx[i] - precise[i]);
+    return sum / static_cast<double>(approx.size()) / range;
+}
+
+/** Fraction of paired outputs that disagree as booleans (≥0.5). */
+inline double
+misclassificationRate(const std::vector<double> &approx,
+                      const std::vector<double> &precise)
+{
+    DOPP_ASSERT(approx.size() == precise.size());
+    if (approx.empty())
+        return 0.0;
+    u64 wrong = 0;
+    for (size_t i = 0; i < approx.size(); ++i)
+        if ((approx[i] >= 0.5) != (precise[i] >= 0.5))
+            ++wrong;
+    return static_cast<double>(wrong) /
+        static_cast<double>(approx.size());
+}
+
+/**
+ * Outputs are flattened groups of @p k ids per query; a query counts as
+ * wrong if its id *set* differs at all (the paper notes this is
+ * pessimistic for ferret — other acceptable result sets exist).
+ */
+inline double
+topkSetDifferenceRate(const std::vector<double> &approx,
+                      const std::vector<double> &precise, unsigned k)
+{
+    DOPP_ASSERT(approx.size() == precise.size());
+    DOPP_ASSERT(k > 0 && approx.size() % k == 0);
+    if (approx.empty())
+        return 0.0;
+    const size_t queries = approx.size() / k;
+    u64 wrong = 0;
+    for (size_t q = 0; q < queries; ++q) {
+        std::set<i64> sa;
+        std::set<i64> sp;
+        for (unsigned i = 0; i < k; ++i) {
+            sa.insert(static_cast<i64>(approx[q * k + i]));
+            sp.insert(static_cast<i64>(precise[q * k + i]));
+        }
+        if (sa != sp)
+            ++wrong;
+    }
+    return static_cast<double>(wrong) / static_cast<double>(queries);
+}
+
+/** Single-value relative error (final aggregate outputs). */
+inline double
+scalarRelativeError(double approx, double precise, double floor = 1e-9)
+{
+    return std::abs(approx - precise) /
+        std::max(std::abs(precise), floor);
+}
+
+} // namespace dopp
+
+#endif // DOPP_WORKLOADS_ERROR_METRICS_HH

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * fluidanimate: smoothed-particle-hydrodynamics fluid step (PARSEC).
+ *
+ * Particles in a box interact through SPH density and pressure forces
+ * found via a uniform cell grid. Only the density field is annotated
+ * approximate — the paper annotates just a small slice of this
+ * benchmark's data (Table 2: 3.6% approximate footprint), leaving
+ * positions, velocities, forces and the cell index precise.
+ *
+ * Error metric: mean particle position error relative to the domain
+ * size [32].
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "util/random.hh"
+#include "workloads/error_metrics.hh"
+#include "workloads/workload.hh"
+
+namespace dopp
+{
+
+namespace
+{
+
+constexpr double boxSize = 1.0;
+constexpr double smoothing = 0.035;   ///< SPH kernel radius
+constexpr double restDensity = 1000.0;
+constexpr double stiffness = 2.5;
+constexpr double particleMass = 0.0006;
+constexpr double timeStep = 0.002;
+
+class Fluidanimate : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    const char *name() const override { return "fluidanimate"; }
+
+    void
+    run(SimRuntime &rt) override
+    {
+        const u64 n = scaled(22000, 256);
+        const unsigned steps = 2;
+        Rng rng(cfg.seed);
+
+        // Precise particle state.
+        SimArray<float> px(rt, n, "posX");
+        SimArray<float> py(rt, n, "posY");
+        SimArray<float> pz(rt, n, "posZ");
+        SimArray<float> vx(rt, n, "velX");
+        SimArray<float> vy(rt, n, "velY");
+        SimArray<float> vz(rt, n, "velZ");
+        // The annotated approximate slice: densities.
+        SimArray<float> density(rt, n, "density");
+        density.annotateApprox(0.0, 4000.0, "fluid.density");
+
+        // Dense block of fluid in the lower half of the box.
+        for (u64 i = 0; i < n; ++i) {
+            px.poke(i, static_cast<float>(rng.uniform(0.05, 0.95)));
+            py.poke(i, static_cast<float>(rng.uniform(0.05, 0.5)));
+            pz.poke(i, static_cast<float>(rng.uniform(0.05, 0.95)));
+            vx.poke(i, 0.0f);
+            vy.poke(i, 0.0f);
+            vz.poke(i, 0.0f);
+        }
+
+        const unsigned cells = static_cast<unsigned>(boxSize / smoothing);
+        const double h2 = smoothing * smoothing;
+
+        auto cellOf = [&](double x) {
+            const auto c = static_cast<int>(x / smoothing);
+            return std::clamp(c, 0, static_cast<int>(cells) - 1);
+        };
+
+        for (unsigned step = 0; step < steps; ++step) {
+            // Build the cell index from positions (native structure;
+            // the precise arrays were just read through the caches).
+            std::vector<std::vector<u32>> grid(
+                static_cast<size_t>(cells) * cells * cells);
+            std::vector<double> hx(n), hy(n), hz(n);
+            rt.parallelFor(0, n, 256, [&](u64 i) {
+                hx[i] = px.get(i);
+                hy[i] = py.get(i);
+                hz[i] = pz.get(i);
+            });
+            for (u64 i = 0; i < n; ++i) {
+                const size_t c =
+                    (static_cast<size_t>(cellOf(hx[i])) * cells +
+                     cellOf(hy[i])) * cells + cellOf(hz[i]);
+                grid[c].push_back(static_cast<u32>(i));
+            }
+
+            auto forEachNeighbor = [&](u64 i, auto &&fn) {
+                const int cx = cellOf(hx[i]);
+                const int cy = cellOf(hy[i]);
+                const int cz = cellOf(hz[i]);
+                for (int dx = -1; dx <= 1; ++dx)
+                    for (int dy = -1; dy <= 1; ++dy)
+                        for (int dz = -1; dz <= 1; ++dz) {
+                            const int nx = cx + dx;
+                            const int ny = cy + dy;
+                            const int nz = cz + dz;
+                            if (nx < 0 || ny < 0 || nz < 0 ||
+                                nx >= static_cast<int>(cells) ||
+                                ny >= static_cast<int>(cells) ||
+                                nz >= static_cast<int>(cells))
+                                continue;
+                            const size_t c =
+                                (static_cast<size_t>(nx) * cells + ny) *
+                                    cells + nz;
+                            for (u32 j : grid[c])
+                                fn(j);
+                        }
+            };
+
+            // Density pass: writes the approximate density field.
+            // Poly6 kernel: W(r) = 315/(64π h⁹) (h² − r²)³.
+            const double poly6 = 315.0 /
+                (64.0 * 3.14159265358979323846 *
+                 std::pow(smoothing, 9.0));
+            rt.parallelFor(0, n, 64, [&](u64 i) {
+                double rho = 0.0;
+                forEachNeighbor(i, [&](u32 j) {
+                    const double dx = hx[i] - hx[j];
+                    const double dy = hy[i] - hy[j];
+                    const double dz = hz[i] - hz[j];
+                    const double r2 = dx * dx + dy * dy + dz * dz;
+                    if (r2 < h2) {
+                        const double w = h2 - r2;
+                        rho += particleMass * poly6 * w * w * w;
+                    }
+                });
+                density.set(i, static_cast<float>(rho));
+                rt.addWork(40);
+            });
+
+            // Force + integrate pass: reads the approximate densities.
+            rt.parallelFor(0, n, 64, [&](u64 i) {
+                const double di = density.get(i);
+                double fx = 0.0;
+                double fy = -9.8 * particleMass; // gravity
+                double fz = 0.0;
+                forEachNeighbor(i, [&](u32 j) {
+                    if (j == i)
+                        return;
+                    const double dx = hx[i] - hx[j];
+                    const double dy = hy[i] - hy[j];
+                    const double dz = hz[i] - hz[j];
+                    const double r2 = dx * dx + dy * dy + dz * dz;
+                    if (r2 >= h2 || r2 < 1e-12)
+                        return;
+                    const double dj = density.get(j);
+                    const double r = std::sqrt(r2);
+                    const double pi = stiffness * (di - restDensity);
+                    const double pj = stiffness * (dj - restDensity);
+                    const double scale = particleMass *
+                        (pi + pj) / (2.0 * std::max(dj, 1.0)) *
+                        (smoothing - r) / std::max(r, 1e-6) * 1e-4;
+                    fx += dx * scale;
+                    fy += dy * scale;
+                    fz += dz * scale;
+                });
+                double nvx = vx.get(i) + timeStep * fx / particleMass;
+                double nvy = vy.get(i) + timeStep * fy / particleMass;
+                double nvz = vz.get(i) + timeStep * fz / particleMass;
+                double nx = hx[i] + timeStep * nvx;
+                double ny = hy[i] + timeStep * nvy;
+                double nz = hz[i] + timeStep * nvz;
+                // Reflecting walls.
+                auto bounce = [](double &p, double &v) {
+                    if (p < 0.0) {
+                        p = -p;
+                        v = -v * 0.5;
+                    } else if (p > boxSize) {
+                        p = 2.0 * boxSize - p;
+                        v = -v * 0.5;
+                    }
+                };
+                bounce(nx, nvx);
+                bounce(ny, nvy);
+                bounce(nz, nvz);
+                vx.set(i, static_cast<float>(nvx));
+                vy.set(i, static_cast<float>(nvy));
+                vz.set(i, static_cast<float>(nvz));
+                px.set(i, static_cast<float>(nx));
+                py.set(i, static_cast<float>(ny));
+                pz.set(i, static_cast<float>(nz));
+                rt.addWork(60);
+            });
+        }
+
+        // Output: sampled final particle positions.
+        out.clear();
+        for (u64 i = 0; i < n; i += 8) {
+            out.push_back(px.get(i));
+            out.push_back(py.get(i));
+            out.push_back(pz.get(i));
+        }
+    }
+
+    double
+    outputError(const std::vector<double> &approx,
+                const std::vector<double> &precise) const override
+    {
+        return meanAbsErrorNormalized(approx, precise, boxSize);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeFluidanimate(const WorkloadConfig &config)
+{
+    return std::make_unique<Fluidanimate>(config);
+}
+
+} // namespace dopp

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * inversek2j: 2-joint arm inverse kinematics (AxBench).
+ *
+ * For a stream of target end-effector coordinates, compute the two
+ * joint angles of a planar 2-link arm. Inputs and outputs are all
+ * annotated approximate — the paper reports a 99.7% approximate LLC
+ * footprint, the highest of the suite.
+ *
+ * Error metric: mean relative error of the joint angles [8].
+ */
+
+#include <cmath>
+
+#include "util/random.hh"
+#include "workloads/error_metrics.hh"
+#include "workloads/workload.hh"
+
+namespace dopp
+{
+
+namespace
+{
+
+constexpr double armL1 = 0.5;
+constexpr double armL2 = 0.5;
+
+class Inversek2j : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    const char *name() const override { return "inversek2j"; }
+
+    void
+    run(SimRuntime &rt) override
+    {
+        const u64 n = scaled(240000, 256);
+        Rng rng(cfg.seed);
+
+        SimArray<float> tx(rt, n, "targetX");
+        SimArray<float> ty(rt, n, "targetY");
+        SimArray<float> th1(rt, n, "theta1");
+        SimArray<float> th2(rt, n, "theta2");
+        // One shared f32 range covering both coordinates (≤ 1.0 in
+        // magnitude) and angles (≤ π).
+        const double fmin = -3.2;
+        const double fmax = 3.2;
+        tx.annotateApprox(fmin, fmax, "ik.tx");
+        ty.annotateApprox(fmin, fmax, "ik.ty");
+        th1.annotateApprox(fmin, fmax, "ik.th1");
+        th2.annotateApprox(fmin, fmax, "ik.th2");
+
+        // Targets sweep smooth trajectories (robot paths), giving the
+        // spatial value smoothness the benchmark is known for.
+        double cx = 0.0;
+        double cy = 0.5;
+        for (u64 i = 0; i < n; ++i) {
+            cx += rng.uniform(-0.01, 0.01);
+            cy += rng.uniform(-0.01, 0.01);
+            const double norm = std::hypot(cx, cy);
+            const double reach = armL1 + armL2 - 1e-3;
+            if (norm > reach) {
+                cx *= reach / norm;
+                cy *= reach / norm;
+            }
+            if (norm < 0.05) {
+                cy += 0.1;
+            }
+            tx.poke(i, static_cast<float>(cx));
+            ty.poke(i, static_cast<float>(cy));
+        }
+
+        rt.parallelFor(0, n, 64, [&](u64 i) {
+            const double x = tx.get(i);
+            const double y = ty.get(i);
+            const double d2 = x * x + y * y;
+            double c2 = (d2 - armL1 * armL1 - armL2 * armL2) /
+                (2.0 * armL1 * armL2);
+            c2 = std::clamp(c2, -1.0, 1.0);
+            const double t2 = std::acos(c2);
+            const double t1 = std::atan2(y, x) -
+                std::atan2(armL2 * std::sin(t2),
+                           armL1 + armL2 * std::cos(t2));
+            th1.set(i, static_cast<float>(t1));
+            th2.set(i, static_cast<float>(t2));
+            rt.addWork(24);
+        });
+
+        // Output: the computed angles of a deterministic sample.
+        out.clear();
+        for (u64 i = 0; i < n; i += 4) {
+            out.push_back(th1.get(i));
+            out.push_back(th2.get(i));
+        }
+    }
+
+    double
+    outputError(const std::vector<double> &approx,
+                const std::vector<double> &precise) const override
+    {
+        // Relative error with a floor of 0.1 rad, as tiny angles would
+        // otherwise blow up the average.
+        return meanRelativeError(approx, precise, 0.1);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeInversek2j(const WorkloadConfig &config)
+{
+    return std::make_unique<Inversek2j>(config);
+}
+
+} // namespace dopp

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Unit tests for the annotation model: element types, region registry,
+ * typed block element access (Sec 4 of the paper).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/approx.hh"
+#include "util/types.hh"
+
+namespace dopp
+{
+
+TEST(ElemType, Sizes)
+{
+    EXPECT_EQ(elemSize(ElemType::U8), 1u);
+    EXPECT_EQ(elemSize(ElemType::I16), 2u);
+    EXPECT_EQ(elemSize(ElemType::I32), 4u);
+    EXPECT_EQ(elemSize(ElemType::F32), 4u);
+    EXPECT_EQ(elemSize(ElemType::F64), 8u);
+}
+
+TEST(ElemType, ElemsPerBlock)
+{
+    EXPECT_EQ(elemsPerBlock(ElemType::U8), 64u);
+    EXPECT_EQ(elemsPerBlock(ElemType::I16), 32u);
+    EXPECT_EQ(elemsPerBlock(ElemType::I32), 16u);
+    EXPECT_EQ(elemsPerBlock(ElemType::F32), 16u);
+    EXPECT_EQ(elemsPerBlock(ElemType::F64), 8u);
+}
+
+TEST(ElemType, Bits)
+{
+    EXPECT_EQ(elemBits(ElemType::U8), 8u);
+    EXPECT_EQ(elemBits(ElemType::F32), 32u);
+}
+
+TEST(ElemType, Names)
+{
+    EXPECT_STREQ(elemTypeName(ElemType::U8), "u8");
+    EXPECT_STREQ(elemTypeName(ElemType::F64), "f64");
+}
+
+class BlockElementTest : public ::testing::TestWithParam<ElemType>
+{
+};
+
+TEST_P(BlockElementTest, RoundTripInRange)
+{
+    const ElemType type = GetParam();
+    u8 block[blockBytes] = {};
+    const unsigned n = elemsPerBlock(type);
+    for (unsigned i = 0; i < n; ++i) {
+        const double v = static_cast<double>(i % 100);
+        setBlockElement(block, type, i, v);
+        EXPECT_DOUBLE_EQ(blockElement(block, type, i), v)
+            << elemTypeName(type) << " idx " << i;
+    }
+}
+
+TEST_P(BlockElementTest, LastElementDoesNotOverflowBlock)
+{
+    const ElemType type = GetParam();
+    u8 block[blockBytes + 8] = {};
+    block[blockBytes] = 0xAA;
+    setBlockElement(block, type, elemsPerBlock(type) - 1, 1.0);
+    EXPECT_EQ(block[blockBytes], 0xAA);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, BlockElementTest,
+                         ::testing::Values(ElemType::U8, ElemType::I16,
+                                           ElemType::I32, ElemType::F32,
+                                           ElemType::F64));
+
+TEST(BlockElement, U8Clamping)
+{
+    u8 block[blockBytes] = {};
+    setBlockElement(block, ElemType::U8, 0, 300.0);
+    EXPECT_DOUBLE_EQ(blockElement(block, ElemType::U8, 0), 255.0);
+    setBlockElement(block, ElemType::U8, 0, -5.0);
+    EXPECT_DOUBLE_EQ(blockElement(block, ElemType::U8, 0), 0.0);
+}
+
+TEST(BlockElement, I16Clamping)
+{
+    u8 block[blockBytes] = {};
+    setBlockElement(block, ElemType::I16, 0, 1e9);
+    EXPECT_DOUBLE_EQ(blockElement(block, ElemType::I16, 0), 32767.0);
+    setBlockElement(block, ElemType::I16, 0, -1e9);
+    EXPECT_DOUBLE_EQ(blockElement(block, ElemType::I16, 0), -32768.0);
+}
+
+TEST(BlockElement, F32PreservesFraction)
+{
+    u8 block[blockBytes] = {};
+    setBlockElement(block, ElemType::F32, 3, 1.5);
+    EXPECT_DOUBLE_EQ(blockElement(block, ElemType::F32, 3), 1.5);
+}
+
+TEST(BlockElement, NegativeIntegers)
+{
+    u8 block[blockBytes] = {};
+    setBlockElement(block, ElemType::I32, 5, -12345.0);
+    EXPECT_DOUBLE_EQ(blockElement(block, ElemType::I32, 5), -12345.0);
+}
+
+TEST(ApproxRegion, Contains)
+{
+    ApproxRegion r;
+    r.base = 100;
+    r.size = 50;
+    EXPECT_TRUE(r.contains(100));
+    EXPECT_TRUE(r.contains(149));
+    EXPECT_FALSE(r.contains(99));
+    EXPECT_FALSE(r.contains(150));
+}
+
+TEST(ApproxRegion, SpanNeverZero)
+{
+    ApproxRegion r;
+    r.minValue = 5.0;
+    r.maxValue = 5.0;
+    EXPECT_GT(r.span(), 0.0);
+}
+
+namespace
+{
+
+ApproxRegion
+makeRegion(Addr base, u64 size, const char *name)
+{
+    ApproxRegion r;
+    r.base = base;
+    r.size = size;
+    r.type = ElemType::F32;
+    r.minValue = 0.0;
+    r.maxValue = 1.0;
+    r.name = name;
+    return r;
+}
+
+} // namespace
+
+TEST(ApproxRegistry, FindInRegisteredRegion)
+{
+    ApproxRegistry reg;
+    reg.add(makeRegion(0x1000, 0x100, "a"));
+    ASSERT_NE(reg.find(0x1000), nullptr);
+    ASSERT_NE(reg.find(0x10FF), nullptr);
+    EXPECT_EQ(reg.find(0x0FFF), nullptr);
+    EXPECT_EQ(reg.find(0x1100), nullptr);
+}
+
+TEST(ApproxRegistry, MultipleRegionsSorted)
+{
+    ApproxRegistry reg;
+    reg.add(makeRegion(0x3000, 0x100, "c"));
+    reg.add(makeRegion(0x1000, 0x100, "a"));
+    reg.add(makeRegion(0x2000, 0x100, "b"));
+    EXPECT_EQ(reg.find(0x1010)->name, "a");
+    EXPECT_EQ(reg.find(0x2010)->name, "b");
+    EXPECT_EQ(reg.find(0x3010)->name, "c");
+    EXPECT_EQ(reg.find(0x1800), nullptr);
+    EXPECT_EQ(reg.regions().size(), 3u);
+}
+
+TEST(ApproxRegistry, IsApprox)
+{
+    ApproxRegistry reg;
+    reg.add(makeRegion(0x1000, 0x40, "a"));
+    EXPECT_TRUE(reg.isApprox(0x1000));
+    EXPECT_FALSE(reg.isApprox(0x2000));
+}
+
+TEST(ApproxRegistry, Clear)
+{
+    ApproxRegistry reg;
+    reg.add(makeRegion(0x1000, 0x40, "a"));
+    reg.clear();
+    EXPECT_FALSE(reg.isApprox(0x1000));
+    EXPECT_TRUE(reg.regions().empty());
+}
+
+TEST(ApproxRegistryDeathTest, OverlapIsFatal)
+{
+    ApproxRegistry reg;
+    reg.add(makeRegion(0x1000, 0x100, "a"));
+    EXPECT_EXIT(reg.add(makeRegion(0x1080, 0x100, "b")),
+                ::testing::ExitedWithCode(1), "overlap");
+}
+
+TEST(ApproxRegistryDeathTest, ZeroSizeIsFatal)
+{
+    ApproxRegistry reg;
+    EXPECT_EXIT(reg.add(makeRegion(0x1000, 0, "z")),
+                ::testing::ExitedWithCode(1), "zero size");
+}
+
+TEST(ApproxRegistryDeathTest, InvertedRangeIsFatal)
+{
+    ApproxRegistry reg;
+    ApproxRegion r = makeRegion(0x1000, 0x40, "r");
+    r.minValue = 2.0;
+    r.maxValue = 1.0;
+    EXPECT_EXIT(reg.add(r), ::testing::ExitedWithCode(1), "inverted");
+}
+
+TEST(ApproxRegistry, AdjacentRegionsAllowed)
+{
+    ApproxRegistry reg;
+    reg.add(makeRegion(0x1000, 0x100, "a"));
+    reg.add(makeRegion(0x1100, 0x100, "b"));
+    EXPECT_EQ(reg.find(0x10FF)->name, "a");
+    EXPECT_EQ(reg.find(0x1100)->name, "b");
+}
+
+} // namespace dopp

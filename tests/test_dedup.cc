@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the exact-deduplication LLC baseline and the FNV hash.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compress/dedup.hh"
+#include "util/random.hh"
+
+namespace dopp
+{
+
+namespace
+{
+
+void
+seedPattern(MainMemory &mem, Addr addr, u8 first, u8 rest)
+{
+    BlockData b;
+    b.fill(rest);
+    b[0] = first;
+    mem.poke(addr, b.data(), blockBytes);
+}
+
+DedupConfig
+smallDedup()
+{
+    DedupConfig cfg;
+    cfg.tagEntries = 64;
+    cfg.tagWays = 16;
+    cfg.dataEntries = 32;
+    cfg.dataWays = 4;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Fnv, DeterministicAndSensitive)
+{
+    const u8 a[4] = {1, 2, 3, 4};
+    const u8 b[4] = {1, 2, 3, 5};
+    EXPECT_EQ(fnv1a64(a, 4), fnv1a64(a, 4));
+    EXPECT_NE(fnv1a64(a, 4), fnv1a64(b, 4));
+    EXPECT_NE(fnv1a64(a, 4), fnv1a64(a, 3));
+}
+
+TEST(DedupLlc, IdenticalBlocksShareOneEntry)
+{
+    MainMemory mem;
+    DedupLlc llc(mem, smallDedup());
+    seedPattern(mem, 0x1000, 7, 7);
+    seedPattern(mem, 0x2000, 7, 7);
+    BlockData buf;
+    llc.fetch(0x1000, buf.data());
+    llc.fetch(0x2000, buf.data());
+    EXPECT_EQ(llc.inner().tagCount(), 2u);
+    EXPECT_EQ(llc.inner().dataCount(), 1u);
+    EXPECT_TRUE(llc.inner().sameDataEntry(0x1000, 0x2000));
+}
+
+TEST(DedupLlc, OneByteDifferencePreventsSharing)
+{
+    MainMemory mem;
+    DedupLlc llc(mem, smallDedup());
+    seedPattern(mem, 0x1000, 7, 7);
+    seedPattern(mem, 0x2000, 8, 7); // differs in one byte
+    BlockData buf;
+    llc.fetch(0x1000, buf.data());
+    llc.fetch(0x2000, buf.data());
+    EXPECT_EQ(llc.inner().dataCount(), 2u);
+    EXPECT_FALSE(llc.inner().sameDataEntry(0x1000, 0x2000));
+}
+
+TEST(DedupLlc, ReadsAreLossless)
+{
+    // Dedup never corrupts data: reads return exactly what was stored.
+    MainMemory mem;
+    DedupLlc llc(mem, smallDedup());
+    Rng rng(4);
+    BlockData blocks[8];
+    for (unsigned k = 0; k < 8; ++k) {
+        for (auto &b : blocks[k])
+            b = static_cast<u8>(rng.below(4)); // some duplicates likely
+        mem.poke(0x1000 + k * blockBytes, blocks[k].data(), blockBytes);
+    }
+    BlockData buf;
+    for (unsigned k = 0; k < 8; ++k)
+        llc.fetch(0x1000 + k * blockBytes, buf.data());
+    for (unsigned k = 0; k < 8; ++k) {
+        llc.fetch(0x1000 + k * blockBytes, buf.data());
+        EXPECT_EQ(buf, blocks[k]) << "block " << k;
+    }
+}
+
+TEST(DedupLlc, WriteUnshares)
+{
+    MainMemory mem;
+    DedupLlc llc(mem, smallDedup());
+    seedPattern(mem, 0x1000, 7, 7);
+    seedPattern(mem, 0x2000, 7, 7);
+    BlockData buf;
+    llc.fetch(0x1000, buf.data());
+    llc.fetch(0x2000, buf.data());
+    ASSERT_TRUE(llc.inner().sameDataEntry(0x1000, 0x2000));
+
+    BlockData w;
+    w.fill(9);
+    llc.writeback(0x1000, w.data());
+    EXPECT_FALSE(llc.inner().sameDataEntry(0x1000, 0x2000));
+    llc.fetch(0x1000, buf.data());
+    EXPECT_EQ(buf[0], 9);
+    llc.fetch(0x2000, buf.data());
+    EXPECT_EQ(buf[0], 7);
+}
+
+TEST(DedupLlc, FlushWritesDirtyDataExactly)
+{
+    MainMemory mem;
+    DedupLlc llc(mem, smallDedup());
+    seedPattern(mem, 0x1000, 1, 1);
+    BlockData buf;
+    llc.fetch(0x1000, buf.data());
+    BlockData w;
+    w.fill(0x42);
+    llc.writeback(0x1000, w.data());
+    llc.flush();
+    BlockData back;
+    mem.peek(0x1000, back.data(), blockBytes);
+    EXPECT_EQ(back, w);
+}
+
+TEST(DedupLlc, InvariantsUnderChurn)
+{
+    MainMemory mem;
+    DedupLlc llc(mem, smallDedup());
+    Rng rng(6);
+    BlockData buf;
+    for (int i = 0; i < 2000; ++i) {
+        const Addr a = rng.below(128) * blockBytes;
+        if (rng.below(3) == 0) {
+            BlockData w;
+            w.fill(static_cast<u8>(rng.below(16)));
+            llc.writeback(a, w.data());
+        } else {
+            llc.fetch(a, buf.data());
+        }
+    }
+    std::string why;
+    EXPECT_TRUE(llc.inner().checkInvariants(&why)) << why;
+}
+
+TEST(DedupLlc, NameAndStats)
+{
+    MainMemory mem;
+    DedupLlc llc(mem, smallDedup());
+    EXPECT_STREQ(llc.name(), "dedup");
+    BlockData buf;
+    llc.fetch(0x1000, buf.data());
+    EXPECT_EQ(llc.stats().fetches, 1u);
+    llc.resetStats();
+    EXPECT_EQ(llc.stats().fetches, 0u);
+}
+
+} // namespace dopp

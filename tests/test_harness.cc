@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the experiment harness: configuration builders, the
+ * runWorkload glue, and report formatting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "harness/results_io.hh"
+
+namespace dopp
+{
+
+TEST(Report, Strfmt)
+{
+    EXPECT_EQ(strfmt("%d-%s", 5, "x"), "5-x");
+    EXPECT_EQ(strfmt("%.2f", 1.234), "1.23");
+}
+
+TEST(Report, Pct)
+{
+    EXPECT_EQ(pct(0.379), "37.9%");
+    EXPECT_EQ(pct(0.5, 0), "50%");
+    EXPECT_EQ(pct(1.0), "100.0%");
+}
+
+TEST(Report, Times)
+{
+    EXPECT_EQ(times(2.55), "2.55x");
+    EXPECT_EQ(times(1.407, 1), "1.4x");
+}
+
+TEST(Harness, LlcKindNames)
+{
+    EXPECT_STREQ(llcKindName(LlcKind::Baseline), "baseline");
+    EXPECT_STREQ(llcKindName(LlcKind::SplitDopp), "split-doppelganger");
+    EXPECT_STREQ(llcKindName(LlcKind::UniDopp), "uniDoppelganger");
+    EXPECT_STREQ(llcKindName(LlcKind::Dedup), "dedup");
+}
+
+TEST(Harness, SplitDoppConfigMatchesTable1)
+{
+    RunConfig cfg;
+    const DoppConfig d = splitDoppConfig(cfg);
+    EXPECT_EQ(d.tagEntries, 16u * 1024); // 1 MB tag-equivalent
+    EXPECT_EQ(d.tagWays, 16u);
+    EXPECT_EQ(d.dataEntries, 4u * 1024); // 1/4 of the tags
+    EXPECT_EQ(d.mapBits, 14u);
+    EXPECT_FALSE(d.unified);
+}
+
+TEST(Harness, UniDoppConfigMatchesTable1)
+{
+    RunConfig cfg;
+    cfg.dataFraction = 0.5;
+    const DoppConfig d = uniDoppConfig(cfg);
+    EXPECT_EQ(d.tagEntries, 32u * 1024); // 2 MB tag-equivalent
+    EXPECT_EQ(d.dataEntries, 16u * 1024); // 1 MB data array
+    EXPECT_TRUE(d.unified);
+}
+
+TEST(Harness, ConfigKnobsPropagate)
+{
+    RunConfig cfg;
+    cfg.mapBits = 12;
+    cfg.hashMode = MapHashMode::AvgOnly;
+    cfg.hashDataSetIndex = false;
+    cfg.dataPolicy = ReplPolicy::RANDOM;
+    const DoppConfig d = splitDoppConfig(cfg);
+    EXPECT_EQ(d.mapBits, 12u);
+    EXPECT_EQ(d.hashMode, MapHashMode::AvgOnly);
+    EXPECT_FALSE(d.hashDataSetIndex);
+    EXPECT_EQ(d.dataPolicy, ReplPolicy::RANDOM);
+}
+
+namespace
+{
+
+RunConfig
+tinyRun(LlcKind kind)
+{
+    RunConfig cfg;
+    cfg.kind = kind;
+    cfg.workload.scale = 0.05;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Harness, BaselineRunProducesStats)
+{
+    const RunResult r = runWorkload("kmeans", tinyRun(LlcKind::Baseline));
+    EXPECT_EQ(r.workload, "kmeans");
+    EXPECT_EQ(r.organization, "baseline");
+    EXPECT_GT(r.runtime, 0u);
+    EXPECT_FALSE(r.output.empty());
+    EXPECT_GT(r.llc.fetches, 0u);
+    EXPECT_GT(r.hierarchy.accesses, 0u);
+    EXPECT_GT(r.offChipTraffic(), 0u);
+}
+
+TEST(Harness, RunIsDeterministic)
+{
+    const RunResult a = runWorkload("jmeint", tinyRun(LlcKind::SplitDopp));
+    const RunResult b = runWorkload("jmeint", tinyRun(LlcKind::SplitDopp));
+    EXPECT_EQ(a.runtime, b.runtime);
+    EXPECT_EQ(a.output, b.output);
+    EXPECT_EQ(a.memReads, b.memReads);
+    EXPECT_EQ(a.llc.fetchMisses, b.llc.fetchMisses);
+}
+
+TEST(Harness, SplitRunSeparatesHalves)
+{
+    const RunResult r =
+        runWorkload("jpeg", tinyRun(LlcKind::SplitDopp));
+    EXPECT_GT(r.doppHalf.fetches, 0u); // jpeg is ~all approximate
+    EXPECT_EQ(r.llc.fetches,
+              r.doppHalf.fetches + r.preciseHalf.fetches);
+    EXPECT_GT(r.doppHalf.mapGens, 0u);
+    EXPECT_GT(r.tagsPerDataEntry, 0.0);
+}
+
+TEST(Harness, UniRunReportsDoppConfig)
+{
+    RunConfig cfg = tinyRun(LlcKind::UniDopp);
+    cfg.dataFraction = 0.5;
+    const RunResult r = runWorkload("kmeans", cfg);
+    EXPECT_TRUE(r.doppConfig.unified);
+    EXPECT_EQ(r.doppConfig.dataEntries, 16u * 1024);
+}
+
+TEST(Harness, DedupRunWorks)
+{
+    const RunResult r =
+        runWorkload("blackscholes", tinyRun(LlcKind::Dedup));
+    EXPECT_EQ(r.organization, "dedup");
+    EXPECT_GT(r.llc.fetches, 0u);
+}
+
+TEST(Harness, SnapshotHookDelivers)
+{
+    RunConfig cfg = tinyRun(LlcKind::Baseline);
+    cfg.workload.scale = 0.2;
+    cfg.snapshotPeriod = 5000;
+    unsigned snaps = 0;
+    u64 blocks = 0;
+    cfg.onSnapshot = [&](const Snapshot &s) {
+        ++snaps;
+        blocks += s.size();
+    };
+    runWorkload("jpeg", cfg);
+    EXPECT_GT(snaps, 0u);
+    EXPECT_GT(blocks, 0u);
+}
+
+TEST(Harness, ScaleFromEnvDefaultsToOne)
+{
+    // (Environment not set in the test harness.)
+    EXPECT_GT(workloadScaleFromEnv(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Result export (results_io).
+// ---------------------------------------------------------------------
+
+TEST(ResultsIo, CsvRowMatchesHeaderArity)
+{
+    const RunResult r = runWorkload("kmeans", tinyRun(LlcKind::Baseline));
+    const std::string header = runResultCsvHeader();
+    const std::string row = runResultCsvRow(r);
+    const auto commas = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), ',');
+    };
+    EXPECT_EQ(commas(header), commas(row));
+    EXPECT_NE(row.find("kmeans,baseline"), std::string::npos);
+}
+
+TEST(ResultsIo, CsvContainsKeyCounters)
+{
+    const RunResult r =
+        runWorkload("jpeg", tinyRun(LlcKind::SplitDopp));
+    const std::string row = runResultCsvRow(r);
+    std::ostringstream expect;
+    expect << r.runtime;
+    EXPECT_NE(row.find(expect.str()), std::string::npos);
+    EXPECT_NE(runResultCsvHeader().find("map_gens"),
+              std::string::npos);
+}
+
+TEST(ResultsIo, WriteCsvFile)
+{
+    const RunResult r = runWorkload("kmeans", tinyRun(LlcKind::Baseline));
+    const std::string path = "/tmp/dopp-results-test.csv";
+    writeResultsCsv(path, {r, r});
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    u64 lines = 0;
+    while (std::getline(in, line))
+        ++lines;
+    EXPECT_EQ(lines, 3u); // header + 2 rows
+    std::remove(path.c_str());
+}
+
+TEST(ResultsIo, JsonIsWellFormedEnough)
+{
+    const RunResult r = runWorkload("kmeans", tinyRun(LlcKind::Baseline));
+    const std::string json = runResultJson(r);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"workload\":\"kmeans\""), std::string::npos);
+    EXPECT_NE(json.find("\"llc_misses\":"), std::string::npos);
+    // Balanced quotes.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '"') % 2, 0);
+}
+
+TEST(ResultsIo, WriteJsonFile)
+{
+    const RunResult r = runWorkload("kmeans", tinyRun(LlcKind::Baseline));
+    const std::string path = "/tmp/dopp-results-test.json";
+    writeResultsJson(path, {r});
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string all = ss.str();
+    EXPECT_EQ(all.front(), '[');
+    std::remove(path.c_str());
+}
+
+} // namespace dopp

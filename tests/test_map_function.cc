@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Unit and property tests for map generation (paper Sec 3.7): the
+ * average+range hash pair, linear binning, the bypass rule for narrow
+ * element types, range-map truncation, clamping, and the Fig 1 worked
+ * example.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "core/map_function.hh"
+#include "util/random.hh"
+
+namespace dopp
+{
+
+namespace
+{
+
+/** Build a block of f32 elements from an initializer. */
+void
+fillF32(u8 *block, const std::vector<float> &values)
+{
+    for (unsigned i = 0; i < elemsPerBlock(ElemType::F32); ++i) {
+        setBlockElement(block, ElemType::F32, i,
+                        values[i % values.size()]);
+    }
+}
+
+MapParams
+f32Params(unsigned map_bits = 14, double lo = 0.0, double hi = 1.0)
+{
+    MapParams p;
+    p.mapBits = map_bits;
+    p.type = ElemType::F32;
+    p.minValue = lo;
+    p.maxValue = hi;
+    return p;
+}
+
+} // namespace
+
+TEST(MapFunction, Fig1WorkedExample)
+{
+    // Blocks 1 and 2 of Fig 1b tiled across the block are similar
+    // (equal average 135..136 and range 95); block 3 differs.
+    MapParams p;
+    p.mapBits = 14;
+    p.type = ElemType::U8;
+    p.minValue = 0.0;
+    p.maxValue = 255.0;
+
+    u8 b1[blockBytes];
+    u8 b2[blockBytes];
+    u8 b3[blockBytes];
+    const u8 px1[6] = {92, 131, 183, 91, 132, 186};
+    const u8 px2[6] = {90, 131, 185, 93, 133, 184};
+    const u8 px3[6] = {35, 31, 29, 43, 38, 37};
+    for (unsigned i = 0; i < blockBytes; ++i) {
+        b1[i] = px1[i % 6];
+        b2[i] = px2[i % 6];
+        b3[i] = px3[i % 6];
+    }
+    EXPECT_EQ(computeMap(b1, p), computeMap(b2, p));
+    EXPECT_NE(computeMap(b1, p), computeMap(b3, p));
+}
+
+TEST(MapFunction, AvgAndRangeHashesComputed)
+{
+    u8 block[blockBytes];
+    fillF32(block, {0.25f, 0.75f});
+    const MapComponents c =
+        computeMapComponents(block, f32Params());
+    EXPECT_NEAR(c.avgHash, 0.5, 1e-6);
+    EXPECT_NEAR(c.rangeHash, 0.5, 1e-6);
+}
+
+TEST(MapFunction, ConstantBlockHasZeroRange)
+{
+    u8 block[blockBytes];
+    fillF32(block, {0.4f});
+    const MapComponents c =
+        computeMapComponents(block, f32Params());
+    EXPECT_NEAR(c.rangeHash, 0.0, 1e-9);
+    EXPECT_EQ(c.rangeMap, 0u);
+}
+
+TEST(MapFunction, MinMapsToZeroAndMaxToTop)
+{
+    u8 lo[blockBytes];
+    u8 hi[blockBytes];
+    fillF32(lo, {0.0f});
+    fillF32(hi, {1.0f});
+    const MapComponents clo = computeMapComponents(lo, f32Params());
+    const MapComponents chi = computeMapComponents(hi, f32Params());
+    EXPECT_EQ(clo.avgMap, 0u);
+    EXPECT_EQ(chi.avgMap, (1u << 14) - 1);
+}
+
+TEST(MapFunction, CombinedLayoutAvgLowRangeHigh)
+{
+    u8 block[blockBytes];
+    fillF32(block, {0.25f, 0.75f});
+    const MapComponents c =
+        computeMapComponents(block, f32Params());
+    EXPECT_EQ(c.avgBits, 14u);
+    EXPECT_EQ(c.rangeBits, 7u); // ceil(14/2), footnote 4
+    EXPECT_EQ(c.combined, (c.rangeMap << 14) | c.avgMap);
+}
+
+TEST(MapFunction, MapWidthMatchesTable3)
+{
+    // 14-bit map on f32: 14 + 7 = 21 bits, the Table 3 map field.
+    EXPECT_EQ(mapWidth(f32Params(14)), 21u);
+    EXPECT_EQ(mapWidth(f32Params(12)), 18u);
+    EXPECT_EQ(mapWidth(f32Params(13)), 20u);
+}
+
+TEST(MapFunction, BypassForNarrowTypes)
+{
+    // M = 14 > 8 bits of u8: mapping skipped, hash used directly.
+    MapParams p;
+    p.mapBits = 14;
+    p.type = ElemType::U8;
+    p.minValue = 0.0;
+    p.maxValue = 255.0;
+    u8 block[blockBytes];
+    for (auto &b : block)
+        b = 100;
+    const MapComponents c = computeMapComponents(block, p);
+    EXPECT_EQ(c.avgBits, 8u);
+    EXPECT_EQ(c.avgMap, 100u);
+    EXPECT_EQ(mapWidth(p), 8u + 7u);
+}
+
+TEST(MapFunction, NoBypassWhenMapFitsType)
+{
+    MapParams p;
+    p.mapBits = 8;
+    p.type = ElemType::U8;
+    p.minValue = 0.0;
+    p.maxValue = 255.0;
+    u8 block[blockBytes];
+    for (auto &b : block)
+        b = 255;
+    const MapComponents c = computeMapComponents(block, p);
+    EXPECT_EQ(c.avgBits, 8u);
+    EXPECT_EQ(c.avgMap, 255u);
+}
+
+TEST(MapFunction, OutOfRangeValuesClamped)
+{
+    // Sec 4.1: runtime values outside the declared range are clamped.
+    u8 inRange[blockBytes];
+    u8 outRange[blockBytes];
+    fillF32(inRange, {1.0f});
+    fillF32(outRange, {50.0f});
+    EXPECT_EQ(computeMap(inRange, f32Params()),
+              computeMap(outRange, f32Params()));
+}
+
+TEST(MapFunction, NanTreatedAsMinimum)
+{
+    u8 nanBlock[blockBytes];
+    u8 minBlock[blockBytes];
+    fillF32(nanBlock, {std::nanf("")});
+    fillF32(minBlock, {0.0f});
+    EXPECT_EQ(computeMap(nanBlock, f32Params()),
+              computeMap(minBlock, f32Params()));
+}
+
+TEST(MapFunction, CloseValuesSameMap)
+{
+    // Values within a small fraction of one bin must collide.
+    u8 a[blockBytes];
+    u8 b[blockBytes];
+    fillF32(a, {0.500000f});
+    fillF32(b, {0.500005f});
+    EXPECT_EQ(computeMap(a, f32Params()), computeMap(b, f32Params()));
+}
+
+TEST(MapFunction, DistantValuesDifferentMap)
+{
+    u8 a[blockBytes];
+    u8 b[blockBytes];
+    fillF32(a, {0.2f});
+    fillF32(b, {0.8f});
+    EXPECT_NE(computeMap(a, f32Params()), computeMap(b, f32Params()));
+}
+
+TEST(MapFunction, AvgOnlyIgnoresRange)
+{
+    // Same average, very different spread.
+    // Exactly representable values whose average is bin-interior.
+    u8 tight[blockBytes];
+    u8 wide[blockBytes];
+    fillF32(tight, {0.25f});
+    fillF32(wide, {0.0f, 0.5f});
+    EXPECT_EQ(computeMap(tight, f32Params(), MapHashMode::AvgOnly),
+              computeMap(wide, f32Params(), MapHashMode::AvgOnly));
+    EXPECT_NE(computeMap(tight, f32Params(), MapHashMode::AvgAndRange),
+              computeMap(wide, f32Params(), MapHashMode::AvgAndRange));
+}
+
+TEST(MapFunction, RangeOnlyIgnoresAverage)
+{
+    u8 low[blockBytes];
+    u8 high[blockBytes];
+    fillF32(low, {0.1f, 0.2f});
+    fillF32(high, {0.8f, 0.9f});
+    EXPECT_EQ(computeMap(low, f32Params(), MapHashMode::RangeOnly),
+              computeMap(high, f32Params(), MapHashMode::RangeOnly));
+    EXPECT_NE(computeMap(low, f32Params()), computeMap(high,
+                                                       f32Params()));
+}
+
+TEST(MapFunction, MapGenEnergyConstant)
+{
+    EXPECT_EQ(mapGenFlops, 21u);
+    EXPECT_DOUBLE_EQ(mapGenEnergyPj, 168.0); // Sec 5.6
+}
+
+/** Property sweep: map values always fit in mapWidth bits, binning is
+ * monotonic in the average, and bigger map spaces refine smaller ones. */
+class MapSpaceSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(MapSpaceSweep, MapsFitDeclaredWidth)
+{
+    const unsigned m = GetParam();
+    Rng rng(m);
+    u8 block[blockBytes];
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<float> vals(4);
+        for (auto &v : vals)
+            v = static_cast<float>(rng.uniform());
+        fillF32(block, vals);
+        const u64 map = computeMap(block, f32Params(m));
+        EXPECT_LT(map, 1ULL << mapWidth(f32Params(m)));
+    }
+}
+
+TEST_P(MapSpaceSweep, AvgBinningMonotonic)
+{
+    const unsigned m = GetParam();
+    u8 block[blockBytes];
+    u64 prev = 0;
+    for (int i = 0; i <= 100; ++i) {
+        fillF32(block, {static_cast<float>(i) / 100.0f});
+        const MapComponents c =
+            computeMapComponents(block, f32Params(m));
+        EXPECT_GE(c.avgMap, prev);
+        prev = c.avgMap;
+    }
+}
+
+TEST_P(MapSpaceSweep, SmallerMapSpaceCoarsens)
+{
+    // If two blocks collide at M bits they must collide at M-1 bits
+    // on the average hash (bins nest by construction).
+    const unsigned m = GetParam();
+    if (m < 2)
+        return;
+    Rng rng(m * 77);
+    u8 a[blockBytes];
+    u8 b[blockBytes];
+    for (int trial = 0; trial < 200; ++trial) {
+        const float va = static_cast<float>(rng.uniform());
+        const float vb = static_cast<float>(rng.uniform());
+        fillF32(a, {va});
+        fillF32(b, {vb});
+        const MapComponents ca = computeMapComponents(a, f32Params(m));
+        const MapComponents cb = computeMapComponents(b, f32Params(m));
+        if (ca.avgMap == cb.avgMap) {
+            const MapComponents da =
+                computeMapComponents(a, f32Params(m - 1));
+            const MapComponents db =
+                computeMapComponents(b, f32Params(m - 1));
+            EXPECT_EQ(da.avgMap, db.avgMap);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(MapBits, MapSpaceSweep,
+                         ::testing::Values(8u, 10u, 12u, 13u, 14u, 16u,
+                                           20u));
+
+/** Property sweep over element types: determinism and bin stability. */
+class MapTypeSweep : public ::testing::TestWithParam<ElemType>
+{
+};
+
+TEST_P(MapTypeSweep, Deterministic)
+{
+    const ElemType type = GetParam();
+    Rng rng(99);
+    u8 block[blockBytes];
+    for (auto &b : block)
+        b = static_cast<u8>(rng.below(256));
+    MapParams p;
+    p.mapBits = 14;
+    p.type = type;
+    p.minValue = -1000.0;
+    p.maxValue = 1000.0;
+    EXPECT_EQ(computeMap(block, p), computeMap(block, p));
+}
+
+TEST_P(MapTypeSweep, IdenticalBlocksAlwaysCollide)
+{
+    const ElemType type = GetParam();
+    Rng rng(7);
+    u8 a[blockBytes];
+    for (auto &b : a)
+        b = static_cast<u8>(rng.below(256));
+    u8 b[blockBytes];
+    std::memcpy(b, a, blockBytes);
+    MapParams p;
+    p.mapBits = 12;
+    p.type = type;
+    p.minValue = -1e6;
+    p.maxValue = 1e6;
+    EXPECT_EQ(computeMap(a, p), computeMap(b, p));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, MapTypeSweep,
+                         ::testing::Values(ElemType::U8, ElemType::I16,
+                                           ElemType::I32, ElemType::F32,
+                                           ElemType::F64));
+
+} // namespace dopp

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the SimRuntime timing model: the stall-exposure factor,
+ * per-core cycle accounting, work charging, core attribution of
+ * parallelFor, and the access hook used by trace capture.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/llc.hh"
+#include "workloads/runtime.hh"
+
+namespace dopp
+{
+
+namespace
+{
+
+struct Rig
+{
+    Rig() : llc(mem, 2 * 1024 * 1024, 16, 6, &reg),
+            sys(HierarchyConfig{}, llc, mem), rt(sys, mem, reg)
+    {
+    }
+
+    MainMemory mem;
+    ApproxRegistry reg;
+    ConventionalLlc llc;
+    MemorySystem sys;
+    SimRuntime rt;
+};
+
+} // namespace
+
+TEST(SimRuntimeTiming, L1HitChargedInFull)
+{
+    Rig rig;
+    const Addr a = rig.rt.allocate(64, "x");
+    rig.rt.load<u32>(a); // cold miss
+    const Tick before = rig.rt.runtime();
+    rig.rt.load<u32>(a); // L1 hit: latency 1 (≤ private level)
+    EXPECT_EQ(rig.rt.runtime() - before,
+              1 + rig.rt.workPerAccess);
+}
+
+TEST(SimRuntimeTiming, MissStallIsDiscountedByExposureFactor)
+{
+    Rig rig;
+    const Addr a = rig.rt.allocate(64, "x");
+    const Tick before = rig.rt.runtime();
+    rig.rt.load<u32>(a); // cold miss: raw 1+3+6+160 = 170 cycles
+    const Tick charged = rig.rt.runtime() - before -
+        rig.rt.workPerAccess;
+    // charge = 4 + 0.35 x (170 - 4) = 62 (integer truncation).
+    EXPECT_EQ(charged, 4u + static_cast<Tick>(166 * 0.35));
+    EXPECT_LT(charged, 170u); // definitely not the raw latency
+}
+
+TEST(SimRuntimeTiming, ExposureFactorIsTunable)
+{
+    Rig full;
+    full.rt.memStallFactor = 1.0;
+    const Addr a = full.rt.allocate(64, "x");
+    const Tick before = full.rt.runtime();
+    full.rt.load<u32>(a);
+    EXPECT_EQ(full.rt.runtime() - before - full.rt.workPerAccess,
+              170u); // full exposure = raw latency
+}
+
+TEST(SimRuntimeTiming, PerCoreCyclesIndependent)
+{
+    Rig rig;
+    const Addr a = rig.rt.allocate(4096, "x");
+    rig.rt.setCore(2);
+    rig.rt.load<u32>(a);
+    rig.rt.setCore(0);
+    // runtime() is the max over cores — core 2 carries the cycles.
+    const Tick t = rig.rt.runtime();
+    EXPECT_GT(t, 0u);
+    rig.rt.addWork(5); // charged to core 0, smaller than core 2's bill
+    EXPECT_EQ(rig.rt.runtime(), t);
+    EXPECT_EQ(rig.rt.totalCycles(), t + 5);
+}
+
+TEST(SimRuntimeTiming, ParallelForSpreadsCycles)
+{
+    Rig rig;
+    const Addr a = rig.rt.allocate(64 * 1024, "x");
+    rig.rt.parallelFor(0, 1024, 16, [&](u64 i) {
+        rig.rt.load<u8>(a + i * 64);
+    });
+    // Perfectly balanced chunks: total ≈ 4 x max.
+    EXPECT_NEAR(static_cast<double>(rig.rt.totalCycles()),
+                4.0 * static_cast<double>(rig.rt.runtime()),
+                0.25 * static_cast<double>(rig.rt.totalCycles()));
+}
+
+TEST(SimRuntimeTiming, WorkPerAccessCharged)
+{
+    Rig rig;
+    rig.rt.workPerAccess = 10;
+    const Addr a = rig.rt.allocate(64, "x");
+    rig.rt.load<u32>(a);
+    const Tick before = rig.rt.runtime();
+    rig.rt.load<u32>(a);
+    EXPECT_EQ(rig.rt.runtime() - before, 1u + 10u);
+}
+
+TEST(SimRuntimeHook, AccessHookSeesEveryAccess)
+{
+    Rig rig;
+    const Addr a = rig.rt.allocate(256, "x");
+    std::vector<std::tuple<Addr, bool, unsigned, u64>> seen;
+    rig.rt.accessHook = [&](Addr addr, bool is_write, unsigned size,
+                            u64 payload) {
+        seen.emplace_back(addr, is_write, size, payload);
+    };
+    rig.rt.store<u16>(a + 2, 0x1234);
+    rig.rt.load<float>(a + 4);
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(std::get<0>(seen[0]), a + 2);
+    EXPECT_TRUE(std::get<1>(seen[0]));
+    EXPECT_EQ(std::get<2>(seen[0]), 2u);
+    EXPECT_EQ(std::get<3>(seen[0]), 0x1234u);
+    EXPECT_FALSE(std::get<1>(seen[1]));
+    EXPECT_EQ(std::get<2>(seen[1]), 4u);
+}
+
+TEST(SimRuntimeHook, HookPayloadCarriesFloatBits)
+{
+    Rig rig;
+    const Addr a = rig.rt.allocate(64, "x");
+    u64 payload = 0;
+    rig.rt.accessHook = [&](Addr, bool, unsigned, u64 p) {
+        payload = p;
+    };
+    rig.rt.store<float>(a, 1.5f);
+    float back;
+    std::memcpy(&back, &payload, sizeof(back));
+    EXPECT_EQ(back, 1.5f);
+}
+
+TEST(SimRuntimeTiming, AccessCountIndependentOfCore)
+{
+    Rig rig;
+    const Addr a = rig.rt.allocate(4096, "x");
+    for (u32 i = 0; i < 10; ++i) {
+        rig.rt.setCore(i % 4);
+        rig.rt.load<u8>(a + i);
+    }
+    EXPECT_EQ(rig.rt.accesses(), 10u);
+}
+
+TEST(SimRuntimeTiming, DefaultExposureMatchesDocumentedValue)
+{
+    Rig rig;
+    EXPECT_DOUBLE_EQ(rig.rt.memStallFactor, 0.35);
+    EXPECT_EQ(rig.rt.workPerAccess, 2u);
+}
+
+} // namespace dopp

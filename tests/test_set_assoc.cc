@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the generic set-associative array and address slicer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/set_assoc.hh"
+
+namespace dopp
+{
+
+namespace
+{
+
+struct Entry
+{
+    bool valid = false;
+    u64 tag = 0;
+    int payload = 0;
+};
+
+} // namespace
+
+TEST(SetAssocArray, Geometry)
+{
+    SetAssocArray<Entry> arr(16, 4);
+    EXPECT_EQ(arr.sets(), 16u);
+    EXPECT_EQ(arr.ways(), 4u);
+    EXPECT_EQ(arr.validCount(), 0u);
+}
+
+TEST(SetAssocArray, NonPowerOfTwoSetsAllowed)
+{
+    SetAssocArray<Entry> arr(1536, 16);
+    EXPECT_EQ(arr.sets(), 1536u);
+}
+
+TEST(SetAssocArrayDeathTest, ZeroSetsFatal)
+{
+    EXPECT_EXIT((SetAssocArray<Entry>(0, 4)),
+                ::testing::ExitedWithCode(1), "non-zero");
+}
+
+TEST(SetAssocArrayDeathTest, ZeroWaysFatal)
+{
+    EXPECT_EXIT((SetAssocArray<Entry>(4, 0)),
+                ::testing::ExitedWithCode(1), "associativity");
+}
+
+TEST(SetAssocArray, FindWay)
+{
+    SetAssocArray<Entry> arr(4, 2);
+    EXPECT_EQ(arr.findWay(0, 42), -1);
+    arr.at(0, 1).valid = true;
+    arr.at(0, 1).tag = 42;
+    EXPECT_EQ(arr.findWay(0, 42), 1);
+    EXPECT_EQ(arr.findWay(1, 42), -1);   // wrong set
+    EXPECT_EQ(arr.findWay(0, 43), -1);   // wrong tag
+}
+
+TEST(SetAssocArray, InvalidEntriesNotFound)
+{
+    SetAssocArray<Entry> arr(4, 2);
+    arr.at(0, 0).tag = 7; // valid stays false
+    EXPECT_EQ(arr.findWay(0, 7), -1);
+}
+
+TEST(SetAssocArray, VictimPrefersInvalid)
+{
+    SetAssocArray<Entry> arr(1, 4);
+    arr.at(0, 0).valid = true;
+    arr.at(0, 2).valid = true;
+    const u32 victim = arr.victimWay(0);
+    EXPECT_TRUE(victim == 1 || victim == 3);
+}
+
+TEST(SetAssocArray, LruEvictsLeastRecentlyUsed)
+{
+    SetAssocArray<Entry> arr(1, 4, ReplPolicy::LRU);
+    for (u32 w = 0; w < 4; ++w) {
+        arr.at(0, w).valid = true;
+        arr.at(0, w).tag = w;
+        arr.touchInsert(0, w);
+    }
+    // Touch everything but way 2.
+    arr.touch(0, 0);
+    arr.touch(0, 1);
+    arr.touch(0, 3);
+    EXPECT_EQ(arr.victimWay(0), 2u);
+}
+
+TEST(SetAssocArray, LruTouchReordersVictims)
+{
+    SetAssocArray<Entry> arr(1, 2, ReplPolicy::LRU);
+    arr.at(0, 0).valid = true;
+    arr.at(0, 1).valid = true;
+    arr.touchInsert(0, 0);
+    arr.touchInsert(0, 1);
+    EXPECT_EQ(arr.victimWay(0), 0u);
+    arr.touch(0, 0);
+    EXPECT_EQ(arr.victimWay(0), 1u);
+}
+
+TEST(SetAssocArray, FifoIgnoresTouch)
+{
+    SetAssocArray<Entry> arr(1, 2, ReplPolicy::FIFO);
+    arr.at(0, 0).valid = true;
+    arr.at(0, 1).valid = true;
+    arr.touchInsert(0, 0);
+    arr.touchInsert(0, 1);
+    arr.touch(0, 0); // FIFO must not reorder
+    EXPECT_EQ(arr.victimWay(0), 0u);
+}
+
+TEST(SetAssocArray, RandomVictimIsValidWay)
+{
+    SetAssocArray<Entry> arr(1, 4, ReplPolicy::RANDOM);
+    for (u32 w = 0; w < 4; ++w)
+        arr.at(0, w).valid = true;
+    std::set<u32> seen;
+    for (int i = 0; i < 200; ++i) {
+        const u32 v = arr.victimWay(0);
+        EXPECT_LT(v, 4u);
+        seen.insert(v);
+    }
+    // Uniform-random over 4 ways should hit several distinct ways.
+    EXPECT_GE(seen.size(), 3u);
+}
+
+TEST(SetAssocArray, ValidCount)
+{
+    SetAssocArray<Entry> arr(4, 4);
+    arr.at(0, 0).valid = true;
+    arr.at(3, 3).valid = true;
+    EXPECT_EQ(arr.validCount(), 2u);
+}
+
+TEST(SetAssocArray, InvalidateAll)
+{
+    SetAssocArray<Entry> arr(4, 4);
+    arr.at(1, 1).valid = true;
+    arr.touchInsert(1, 1);
+    arr.invalidateAll();
+    EXPECT_EQ(arr.validCount(), 0u);
+}
+
+TEST(AddrSlicer, RoundTrip)
+{
+    AddrSlicer s(1024);
+    const Addr addrs[] = {0x0, 0x40, 0x12345640, 0xFFFFFFC0};
+    for (Addr a : addrs) {
+        const u32 set = s.set(a);
+        const u64 tag = s.tag(a);
+        EXPECT_EQ(s.addr(set, tag), blockAlign(a)) << std::hex << a;
+        EXPECT_LT(set, 1024u);
+    }
+}
+
+TEST(AddrSlicer, ConsecutiveBlocksDifferentSets)
+{
+    AddrSlicer s(64);
+    EXPECT_NE(s.set(0), s.set(64));
+    EXPECT_EQ(s.set(0), s.set(64 * 64)); // wraps after 64 sets
+    EXPECT_NE(s.tag(0), s.tag(64 * 64));
+}
+
+TEST(AddrSlicer, SingleSet)
+{
+    AddrSlicer s(1);
+    EXPECT_EQ(s.set(0xDEADBEC0), 0u);
+    EXPECT_EQ(s.tag(0x40), 1u);
+}
+
+TEST(ReplPolicy, Names)
+{
+    EXPECT_STREQ(replPolicyName(ReplPolicy::LRU), "lru");
+    EXPECT_STREQ(replPolicyName(ReplPolicy::FIFO), "fifo");
+    EXPECT_STREQ(replPolicyName(ReplPolicy::RANDOM), "random");
+}
+
+} // namespace dopp

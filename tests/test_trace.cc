@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Tests for trace capture and replay: file format round-trips, harness
+ * capture, and replay equivalence (a replayed trace must reproduce the
+ * original run's hierarchy behaviour on an identical system).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "sim/trace.hh"
+
+namespace dopp
+{
+
+namespace
+{
+
+/** Temp file path helper; removed on destruction. */
+struct TempTrace
+{
+    TempTrace()
+    {
+        char buf[] = "/tmp/dopptrace-XXXXXX";
+        const int fd = mkstemp(buf);
+        if (fd >= 0)
+            ::close(fd);
+        path = buf;
+    }
+
+    ~TempTrace() { std::remove(path.c_str()); }
+
+    std::string path;
+};
+
+} // namespace
+
+TEST(Trace, WriteReadRoundTrip)
+{
+    TempTrace tmp;
+    {
+        TraceWriter w(tmp.path);
+        for (u32 i = 0; i < 100; ++i) {
+            TraceRecord r;
+            r.addr = 0x1000 + i * 4;
+            r.payload = i * 7;
+            r.core = static_cast<u8>(i % 4);
+            r.size = 4;
+            r.isWrite = i % 3 == 0;
+            w.append(r);
+        }
+        EXPECT_EQ(w.count(), 100u);
+    }
+    TraceReader rd(tmp.path);
+    EXPECT_EQ(rd.count(), 100u);
+    TraceRecord r;
+    u32 i = 0;
+    while (rd.next(r)) {
+        EXPECT_EQ(r.addr, 0x1000 + i * 4);
+        EXPECT_EQ(r.payload, i * 7);
+        EXPECT_EQ(r.core, i % 4);
+        EXPECT_EQ(r.isWrite, i % 3 == 0 ? 1 : 0);
+        ++i;
+    }
+    EXPECT_EQ(i, 100u);
+}
+
+TEST(Trace, RewindRestarts)
+{
+    TempTrace tmp;
+    {
+        TraceWriter w(tmp.path);
+        TraceRecord r;
+        r.addr = 0xAA40;
+        w.append(r);
+    }
+    TraceReader rd(tmp.path);
+    TraceRecord r;
+    ASSERT_TRUE(rd.next(r));
+    EXPECT_FALSE(rd.next(r));
+    rd.rewind();
+    ASSERT_TRUE(rd.next(r));
+    EXPECT_EQ(r.addr, 0xAA40u);
+}
+
+TEST(Trace, EmptyTraceIsValid)
+{
+    TempTrace tmp;
+    {
+        TraceWriter w(tmp.path);
+    }
+    TraceReader rd(tmp.path);
+    EXPECT_EQ(rd.count(), 0u);
+    TraceRecord r;
+    EXPECT_FALSE(rd.next(r));
+}
+
+TEST(TraceDeathTest, BadMagicIsFatal)
+{
+    TempTrace tmp;
+    std::FILE *f = std::fopen(tmp.path.c_str(), "wb");
+    std::fwrite("NOTATRACE123456", 1, 16, f);
+    std::fclose(f);
+    EXPECT_EXIT((TraceReader(tmp.path)), ::testing::ExitedWithCode(1),
+                "not a doppelganger trace");
+}
+
+TEST(TraceDeathTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT((TraceReader("/nonexistent/file.dopptrc")),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(Trace, HarnessCapturesWorkloadRun)
+{
+    TempTrace tmp;
+    RunConfig cfg;
+    cfg.kind = LlcKind::Baseline;
+    cfg.workload.scale = 0.05;
+    cfg.tracePath = tmp.path;
+    const RunResult run = runWorkload("kmeans", cfg);
+
+    TraceReader rd(tmp.path);
+    EXPECT_EQ(rd.count(), run.hierarchy.accesses);
+
+    // Every record is well-formed.
+    TraceRecord r;
+    u64 writes = 0;
+    while (rd.next(r)) {
+        EXPECT_GE(r.size, 1);
+        EXPECT_LE(r.size, 8);
+        EXPECT_LT(r.core, 4);
+        writes += r.isWrite;
+    }
+    EXPECT_EQ(writes, run.hierarchy.stores);
+}
+
+TEST(Trace, ReplayReproducesHierarchyBehaviour)
+{
+    // Record a run, then replay the trace on an identical fresh
+    // system: access/hit/miss counts and memory traffic must match
+    // the original exactly (stores carry their payloads, so even the
+    // functional state matches).
+    TempTrace tmp;
+    RunConfig cfg;
+    cfg.kind = LlcKind::Baseline;
+    cfg.workload.scale = 0.05;
+    cfg.tracePath = tmp.path;
+    const RunResult run = runWorkload("jmeint", cfg);
+
+    MainMemory mem;
+    ApproxRegistry reg;
+    ConventionalLlc llc(mem, 2 * 1024 * 1024, 16, 6, &reg);
+    MemorySystem sys(HierarchyConfig{}, llc, mem);
+    TraceReader rd(tmp.path);
+    const ReplayStats stats = replayTrace(rd, sys);
+
+    EXPECT_EQ(stats.accesses, run.hierarchy.accesses);
+    EXPECT_EQ(stats.writes, run.hierarchy.stores);
+    EXPECT_EQ(sys.stats().l1Hits, run.hierarchy.l1Hits);
+    EXPECT_EQ(sys.stats().l2Misses, run.hierarchy.l2Misses);
+    EXPECT_EQ(llc.stats().fetchMisses, run.llc.fetchMisses);
+    // Trace replay sees the same addresses but pokes no initial data,
+    // so only *traffic counts* are compared, not values.
+    EXPECT_EQ(mem.reads(), run.memReads);
+}
+
+TEST(Trace, ReplayOnDifferentLlcDiffers)
+{
+    // The point of traces: swap the LLC under the same access stream.
+    TempTrace tmp;
+    RunConfig cfg;
+    cfg.kind = LlcKind::Baseline;
+    cfg.workload.scale = 0.1;
+    cfg.tracePath = tmp.path;
+    runWorkload("canneal", cfg);
+
+    auto replayOn = [&](u64 llcBytes) {
+        MainMemory mem;
+        ApproxRegistry reg;
+        ConventionalLlc llc(mem, llcBytes, 16, 6, &reg);
+        MemorySystem sys(HierarchyConfig{}, llc, mem);
+        TraceReader rd(tmp.path);
+        replayTrace(rd, sys);
+        return llc.stats().fetchMisses;
+    };
+    const u64 missesBig = replayOn(2 * 1024 * 1024);
+    const u64 missesSmall = replayOn(64 * 1024);
+    EXPECT_GT(missesSmall, missesBig);
+}
+
+TEST(Trace, InterleavePreservesAllRecords)
+{
+    TempTrace a;
+    TempTrace b;
+    TempTrace merged;
+    {
+        TraceWriter wa(a.path);
+        TraceWriter wb(b.path);
+        for (u32 i = 0; i < 150; ++i) {
+            TraceRecord r;
+            r.addr = i * 64;
+            r.core = static_cast<u8>(i % 4);
+            wa.append(r);
+        }
+        for (u32 i = 0; i < 40; ++i) {
+            TraceRecord r;
+            r.addr = i * 64;
+            r.core = static_cast<u8>(i % 4);
+            wb.append(r);
+        }
+    }
+    const u64 total =
+        interleaveTraces({a.path, b.path}, merged.path, 16);
+    EXPECT_EQ(total, 190u);
+
+    TraceReader rd(merged.path);
+    EXPECT_EQ(rd.count(), 190u);
+    TraceRecord r;
+    u64 fromA = 0;
+    u64 fromB = 0;
+    while (rd.next(r)) {
+        if (r.addr >= (1ULL << 33)) {
+            ++fromB;
+            EXPECT_GE(r.core, 2); // program 1 gets cores 2..3
+        } else {
+            ++fromA;
+            EXPECT_LT(r.core, 2); // program 0 gets cores 0..1
+        }
+    }
+    EXPECT_EQ(fromA, 150u);
+    EXPECT_EQ(fromB, 40u);
+}
+
+TEST(Trace, InterleaveChunksAlternate)
+{
+    TempTrace a;
+    TempTrace b;
+    TempTrace merged;
+    {
+        TraceWriter wa(a.path);
+        TraceWriter wb(b.path);
+        for (u32 i = 0; i < 8; ++i) {
+            TraceRecord r;
+            r.addr = 0x100;
+            wa.append(r);
+            r.addr = 0x200;
+            wb.append(r);
+        }
+    }
+    interleaveTraces({a.path, b.path}, merged.path, 4);
+    TraceReader rd(merged.path);
+    TraceRecord r;
+    std::vector<int> origin;
+    while (rd.next(r))
+        origin.push_back(r.addr >= (1ULL << 33) ? 1 : 0);
+    const std::vector<int> expect = {0, 0, 0, 0, 1, 1, 1, 1,
+                                     0, 0, 0, 0, 1, 1, 1, 1};
+    EXPECT_EQ(origin, expect);
+}
+
+TEST(Trace, MultiprogramReplayRunsOnSharedLlc)
+{
+    TempTrace a;
+    TempTrace b;
+    TempTrace merged;
+    RunConfig cfg;
+    cfg.kind = LlcKind::Baseline;
+    cfg.workload.scale = 0.05;
+    cfg.tracePath = a.path;
+    const RunResult ra = runWorkload("kmeans", cfg);
+    cfg.tracePath = b.path;
+    const RunResult rb = runWorkload("jmeint", cfg);
+    interleaveTraces({a.path, b.path}, merged.path);
+
+    MainMemory mem;
+    ApproxRegistry reg;
+    ConventionalLlc llc(mem, 2 * 1024 * 1024, 16, 6, &reg);
+    MemorySystem sys(HierarchyConfig{}, llc, mem);
+    TraceReader rd(merged.path);
+    const ReplayStats stats = replayTrace(rd, sys);
+    EXPECT_EQ(stats.accesses,
+              ra.hierarchy.accesses + rb.hierarchy.accesses);
+    // The shared run misses at least as much as either alone would
+    // have at the same size (disjoint address spaces only compete).
+    EXPECT_GE(llc.stats().fetchMisses,
+              std::max(ra.llc.fetchMisses, rb.llc.fetchMisses));
+}
+
+TEST(TraceDeathTest, InterleaveRejectsTooManyPrograms)
+{
+    TempTrace a;
+    {
+        TraceWriter w(a.path);
+    }
+    EXPECT_EXIT(interleaveTraces({a.path, a.path, a.path, a.path,
+                                  a.path},
+                                 "/tmp/never.dopptrc", 4, 1 << 20, 4),
+                ::testing::ExitedWithCode(1), "more programs");
+}
+
+TEST(Trace, RecordLayoutIsStable)
+{
+    // The on-disk format is a contract: 24-byte records.
+    EXPECT_EQ(sizeof(TraceRecord), 24u);
+    EXPECT_EQ(std::string(traceMagic, 8), "DOPPTRC1");
+}
+
+} // namespace dopp

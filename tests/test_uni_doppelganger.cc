@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Dedicated uniDoppelgänger coverage (Sec 3.8) beyond the basics:
+ * precise/approximate cohabitation under data pressure, fractional
+ * (non-power-of-two) data arrays, direct-pointer integrity when
+ * precise entries are evicted by approximate allocations and vice
+ * versa, and the Table 1 uni geometry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "core/doppelganger_cache.hh"
+#include "util/random.hh"
+
+namespace dopp
+{
+
+namespace
+{
+
+class UniPressureTest : public ::testing::Test
+{
+  protected:
+    UniPressureTest()
+    {
+        ApproxRegion r;
+        r.base = approxBase;
+        r.size = 1 << 20;
+        r.type = ElemType::F32;
+        r.minValue = 0.0;
+        r.maxValue = 1.0;
+        r.name = "approx";
+        reg.add(r);
+
+        DoppConfig cfg;
+        cfg.tagEntries = 128;
+        cfg.tagWays = 16;
+        cfg.dataEntries = 8; // tiny: constant data pressure
+        cfg.dataWays = 4;
+        cfg.unified = true;
+        cache = std::make_unique<DoppelgangerCache>(mem, cfg, &reg);
+    }
+
+    void
+    seed(Addr addr, float value)
+    {
+        BlockData b;
+        for (unsigned i = 0; i < 16; ++i)
+            setBlockElement(b.data(), ElemType::F32, i,
+                            static_cast<double>(value));
+        mem.poke(addr, b.data(), blockBytes);
+    }
+
+    static constexpr Addr approxBase = 0x100000;
+    static constexpr Addr preciseBase = 0x900000;
+
+    MainMemory mem;
+    ApproxRegistry reg;
+    std::unique_ptr<DoppelgangerCache> cache;
+    BlockData buf;
+};
+
+} // namespace
+
+TEST_F(UniPressureTest, ApproxAllocationCanEvictPreciseEntry)
+{
+    // Fill the data array with precise blocks, then insert approximate
+    // ones: precise victims' tags must be dropped cleanly.
+    for (unsigned k = 0; k < 8; ++k) {
+        seed(preciseBase + k * 0x1000, 0.5f);
+        cache->fetch(preciseBase + k * 0x1000, buf.data());
+    }
+    EXPECT_EQ(cache->dataCount(), 8u);
+
+    for (unsigned k = 0; k < 8; ++k) {
+        seed(approxBase + k * 0x1000,
+             0.1f + 0.1f * static_cast<float>(k));
+        cache->fetch(approxBase + k * 0x1000, buf.data());
+    }
+    std::string why;
+    EXPECT_TRUE(cache->checkInvariants(&why)) << why;
+    // Some precise blocks were displaced; those still resident must
+    // still resolve through their direct pointers.
+    unsigned resident = 0;
+    for (unsigned k = 0; k < 8; ++k) {
+        if (cache->contains(preciseBase + k * 0x1000)) {
+            ++resident;
+            cache->fetch(preciseBase + k * 0x1000, buf.data());
+            EXPECT_FLOAT_EQ(static_cast<float>(blockElement(
+                                buf.data(), ElemType::F32, 0)),
+                            0.5f);
+        }
+    }
+    EXPECT_LT(resident, 8u);
+}
+
+TEST_F(UniPressureTest, PreciseAllocationCanEvictSharedApproxEntry)
+{
+    // One shared approximate entry with many tags, then precise fills:
+    // evicting the shared entry must drop every linked tag.
+    for (unsigned k = 0; k < 6; ++k) {
+        seed(approxBase + k * 0x1000, 0.5f);
+        cache->fetch(approxBase + k * 0x1000, buf.data());
+    }
+    EXPECT_EQ(cache->tagsSharingWith(approxBase), 6u);
+
+    for (unsigned k = 0; k < 16; ++k) {
+        seed(preciseBase + k * 0x1000, 0.9f);
+        cache->fetch(preciseBase + k * 0x1000, buf.data());
+    }
+    std::string why;
+    EXPECT_TRUE(cache->checkInvariants(&why)) << why;
+    // Either all six share a surviving entry, or all six are gone.
+    const unsigned sharing = cache->tagsSharingWith(approxBase);
+    EXPECT_TRUE(sharing == 6 || sharing == 0) << sharing;
+}
+
+TEST_F(UniPressureTest, DirtyPreciseVictimWritesBackExactly)
+{
+    seed(preciseBase, 0.25f);
+    cache->fetch(preciseBase, buf.data());
+    BlockData w;
+    for (unsigned i = 0; i < 16; ++i)
+        setBlockElement(w.data(), ElemType::F32, i, 0.875);
+    cache->writeback(preciseBase, w.data());
+
+    // Force its eviction with approximate pressure everywhere.
+    Rng rng(3);
+    for (unsigned k = 0; k < 64; ++k) {
+        const Addr a = approxBase + k * 0x1000;
+        seed(a, static_cast<float>(rng.uniform()));
+        cache->fetch(a, buf.data());
+    }
+    if (!cache->contains(preciseBase)) {
+        BlockData back;
+        mem.peek(preciseBase, back.data(), blockBytes);
+        EXPECT_FLOAT_EQ(static_cast<float>(blockElement(
+                            back.data(), ElemType::F32, 0)),
+                        0.875f);
+    }
+}
+
+TEST(UniGeometry, FractionalThreeQuarterArrayWorks)
+{
+    // The paper's uniDopp 3/4 point: 1536 sets at 16 ways.
+    MainMemory mem;
+    DoppConfig cfg;
+    cfg.tagEntries = 32 * 1024;
+    cfg.dataEntries = 24 * 1024; // 3/4 of the tags
+    cfg.unified = true;
+    DoppelgangerCache cache(mem, cfg, nullptr);
+    BlockData buf;
+    Rng rng(8);
+    for (int i = 0; i < 4000; ++i)
+        cache.fetch(rng.below(8192) * blockBytes, buf.data());
+    std::string why;
+    EXPECT_TRUE(cache.checkInvariants(&why)) << why;
+    EXPECT_GT(cache.tagCount(), 0u);
+}
+
+TEST(UniGeometry, Table1UniConfiguration)
+{
+    // 2 MB tag-equivalent with a 1 MB data array runs and keeps
+    // invariants under mixed traffic.
+    MainMemory mem;
+    ApproxRegistry reg;
+    ApproxRegion r;
+    r.base = 0;
+    r.size = 1 << 22;
+    r.type = ElemType::F32;
+    r.minValue = 0.0;
+    r.maxValue = 1.0;
+    r.name = "approx";
+    reg.add(r);
+    DoppConfig cfg;
+    cfg.tagEntries = 32 * 1024;
+    cfg.dataEntries = 16 * 1024;
+    cfg.unified = true;
+    DoppelgangerCache cache(mem, cfg, &reg);
+    BlockData buf;
+    Rng rng(9);
+    for (int i = 0; i < 5000; ++i) {
+        const bool approx = rng.below(2) == 0;
+        const Addr a = (approx ? 0 : (1ULL << 23)) +
+            rng.below(2048) * blockBytes;
+        cache.fetch(a, buf.data());
+    }
+    std::string why;
+    EXPECT_TRUE(cache.checkInvariants(&why)) << why;
+    // Both populations resident.
+    u64 precise = 0;
+    u64 approx = 0;
+    cache.forEachBlock([&](const LlcBlockInfo &info) {
+        (info.approx ? approx : precise) += 1;
+    });
+    EXPECT_GT(precise, 0u);
+    EXPECT_GT(approx, 0u);
+}
+
+TEST(UniGeometry, ApproxSharingAcrossPressureIsStable)
+{
+    // Two similar approximate blocks keep sharing an entry while a
+    // third population churns the rest of the array.
+    MainMemory mem;
+    ApproxRegistry reg;
+    ApproxRegion r;
+    r.base = 0;
+    r.size = 1 << 22;
+    r.type = ElemType::F32;
+    r.minValue = 0.0;
+    r.maxValue = 1.0;
+    r.name = "approx";
+    reg.add(r);
+    DoppConfig cfg;
+    cfg.tagEntries = 1024;
+    cfg.dataEntries = 256;
+    cfg.dataWays = 4;
+    cfg.unified = true;
+    DoppelgangerCache cache(mem, cfg, &reg);
+    BlockData seedBuf;
+    for (unsigned i = 0; i < 16; ++i)
+        setBlockElement(seedBuf.data(), ElemType::F32, i, 0.5);
+    mem.poke(0x0, seedBuf.data(), blockBytes);
+    mem.poke(0x10000, seedBuf.data(), blockBytes);
+
+    BlockData buf;
+    cache.fetch(0x0, buf.data());
+    cache.fetch(0x10000, buf.data());
+    ASSERT_TRUE(cache.sameDataEntry(0x0, 0x10000));
+
+    Rng rng(10);
+    for (int i = 0; i < 2000; ++i) {
+        // Keep the pair warm while churning.
+        cache.fetch(0x0, buf.data());
+        cache.fetch(rng.below(2048) * blockBytes + 0x100000,
+                    buf.data());
+    }
+    if (cache.contains(0x0) && cache.contains(0x10000)) {
+        EXPECT_TRUE(cache.sameDataEntry(0x0, 0x10000));
+    }
+    std::string why;
+    EXPECT_TRUE(cache.checkInvariants(&why)) << why;
+}
+
+} // namespace dopp

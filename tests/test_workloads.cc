@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Tests for the workload layer: the SimRuntime/SimArray plumbing and
+ * all nine benchmarks (determinism, annotation, error metrics),
+ * parameterized over the benchmark names.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/llc.hh"
+#include "workloads/error_metrics.hh"
+#include "workloads/workload.hh"
+
+namespace dopp
+{
+
+namespace
+{
+
+/** A tiny full system for workload tests. */
+struct MiniSystem
+{
+    MiniSystem()
+        : llc(mem, 2 * 1024 * 1024, 16, 6, &reg),
+          sys(HierarchyConfig{}, llc, mem), rt(sys, mem, reg)
+    {
+    }
+
+    MainMemory mem;
+    ApproxRegistry reg;
+    ConventionalLlc llc;
+    MemorySystem sys;
+    SimRuntime rt;
+};
+
+constexpr double tinyScale = 0.05;
+
+} // namespace
+
+TEST(SimRuntime, AllocateIsPageAlignedAndDisjoint)
+{
+    MiniSystem m;
+    const Addr a = m.rt.allocate(100, "a");
+    const Addr b = m.rt.allocate(100, "b");
+    EXPECT_EQ(a % 4096, 0u);
+    EXPECT_EQ(b % 4096, 0u);
+    EXPECT_GE(b, a + 100);
+}
+
+TEST(SimRuntime, LoadStoreRoundTrip)
+{
+    MiniSystem m;
+    const Addr a = m.rt.allocate(64, "x");
+    m.rt.store<float>(a, 1.5f);
+    EXPECT_FLOAT_EQ(m.rt.load<float>(a), 1.5f);
+}
+
+TEST(SimRuntime, CyclesAccumulate)
+{
+    MiniSystem m;
+    const Addr a = m.rt.allocate(64, "x");
+    EXPECT_EQ(m.rt.runtime(), 0u);
+    m.rt.load<u32>(a);
+    const Tick after = m.rt.runtime();
+    EXPECT_GT(after, 0u);
+    m.rt.addWork(100);
+    EXPECT_EQ(m.rt.runtime(), after + 100);
+}
+
+TEST(SimRuntime, ParallelForCoversAllIndicesOnce)
+{
+    MiniSystem m;
+    std::vector<int> hits(1000, 0);
+    std::vector<CoreId> cores;
+    m.rt.parallelFor(0, 1000, 64, [&](u64 i) {
+        hits[i] += 1;
+        cores.push_back(m.rt.core());
+    });
+    for (int h : hits)
+        EXPECT_EQ(h, 1);
+    // All four cores participated.
+    std::set<CoreId> distinct(cores.begin(), cores.end());
+    EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(SimRuntime, PeriodicHookFires)
+{
+    MiniSystem m;
+    const Addr a = m.rt.allocate(4096, "x");
+    unsigned fired = 0;
+    m.rt.setPeriodicHook(10, [&] { ++fired; });
+    for (unsigned i = 0; i < 100; ++i)
+        m.rt.load<u8>(a + i);
+    EXPECT_EQ(fired, 10u);
+}
+
+TEST(SimArray, AnnotationRegistersRegion)
+{
+    MiniSystem m;
+    SimArray<float> arr(m.rt, 100, "vals");
+    EXPECT_FALSE(m.reg.isApprox(arr.baseAddr()));
+    arr.annotateApprox(0.0, 1.0, "vals");
+    EXPECT_TRUE(m.reg.isApprox(arr.baseAddr()));
+    EXPECT_TRUE(m.reg.isApprox(arr.addrOf(99)));
+    const ApproxRegion *r = m.reg.find(arr.baseAddr());
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->type, ElemType::F32);
+}
+
+TEST(SimArray, PokeThenGetThroughHierarchy)
+{
+    MiniSystem m;
+    SimArray<i32> arr(m.rt, 16, "ints");
+    arr.poke(5, -42);
+    EXPECT_EQ(arr.get(5), -42);
+    arr.set(5, 17);
+    EXPECT_EQ(arr.get(5), 17);
+}
+
+TEST(SimArray, PeekSeesMemoryNotCaches)
+{
+    MiniSystem m;
+    SimArray<i32> arr(m.rt, 16, "ints");
+    arr.poke(0, 1);
+    arr.set(0, 2);          // dirty in L1
+    EXPECT_EQ(arr.peek(0), 1); // memory still has the old value
+    m.sys.drain();
+    EXPECT_EQ(arr.peek(0), 2);
+}
+
+// ---------------------------------------------------------------------
+// Error metric helpers.
+// ---------------------------------------------------------------------
+
+TEST(ErrorMetrics, MeanRelativeError)
+{
+    EXPECT_DOUBLE_EQ(meanRelativeError({1.0, 2.0}, {1.0, 2.0}), 0.0);
+    EXPECT_NEAR(meanRelativeError({1.1}, {1.0}), 0.1, 1e-12);
+    // Floor guards tiny denominators.
+    EXPECT_DOUBLE_EQ(meanRelativeError({1.0}, {0.0}, 1.0), 1.0);
+}
+
+TEST(ErrorMetrics, MeanAbsErrorNormalized)
+{
+    EXPECT_DOUBLE_EQ(
+        meanAbsErrorNormalized({10.0, 20.0}, {0.0, 0.0}, 100.0), 0.15);
+}
+
+TEST(ErrorMetrics, MisclassificationRate)
+{
+    EXPECT_DOUBLE_EQ(
+        misclassificationRate({1, 0, 1, 0}, {1, 0, 0, 0}), 0.25);
+    EXPECT_DOUBLE_EQ(misclassificationRate({}, {}), 0.0);
+}
+
+TEST(ErrorMetrics, TopkSetDifference)
+{
+    // Two queries of k=2; order within a set does not matter.
+    EXPECT_DOUBLE_EQ(
+        topkSetDifferenceRate({1, 2, 5, 6}, {2, 1, 5, 7}, 2), 0.5);
+    EXPECT_DOUBLE_EQ(
+        topkSetDifferenceRate({1, 2}, {2, 1}, 2), 0.0);
+}
+
+TEST(ErrorMetrics, ScalarRelativeError)
+{
+    EXPECT_DOUBLE_EQ(scalarRelativeError(11.0, 10.0), 0.1);
+    EXPECT_DOUBLE_EQ(scalarRelativeError(5.0, 5.0), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// All nine workloads, parameterized.
+// ---------------------------------------------------------------------
+
+class WorkloadSuite : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadSuite, FactoryProducesCorrectName)
+{
+    WorkloadConfig cfg;
+    auto w = makeWorkload(GetParam(), cfg);
+    EXPECT_EQ(w->name(), GetParam());
+}
+
+TEST_P(WorkloadSuite, RunsAndProducesOutput)
+{
+    WorkloadConfig cfg;
+    cfg.scale = tinyScale;
+    MiniSystem m;
+    auto w = makeWorkload(GetParam(), cfg);
+    w->run(m.rt);
+    EXPECT_FALSE(w->output().empty());
+    EXPECT_GT(m.rt.runtime(), 0u);
+    EXPECT_GT(m.rt.accesses(), 0u);
+}
+
+TEST_P(WorkloadSuite, DeterministicAcrossRuns)
+{
+    WorkloadConfig cfg;
+    cfg.scale = tinyScale;
+    MiniSystem m1;
+    MiniSystem m2;
+    auto w1 = makeWorkload(GetParam(), cfg);
+    auto w2 = makeWorkload(GetParam(), cfg);
+    w1->run(m1.rt);
+    w2->run(m2.rt);
+    ASSERT_EQ(w1->output().size(), w2->output().size());
+    for (size_t i = 0; i < w1->output().size(); ++i)
+        EXPECT_EQ(w1->output()[i], w2->output()[i]) << i;
+    EXPECT_EQ(m1.rt.runtime(), m2.rt.runtime());
+}
+
+TEST_P(WorkloadSuite, DifferentSeedsDifferentOutput)
+{
+    WorkloadConfig a;
+    a.scale = tinyScale;
+    WorkloadConfig b = a;
+    b.seed = a.seed + 1;
+    MiniSystem m1;
+    MiniSystem m2;
+    auto w1 = makeWorkload(GetParam(), a);
+    auto w2 = makeWorkload(GetParam(), b);
+    w1->run(m1.rt);
+    w2->run(m2.rt);
+    EXPECT_NE(w1->output(), w2->output());
+}
+
+TEST_P(WorkloadSuite, SelfErrorIsZero)
+{
+    WorkloadConfig cfg;
+    cfg.scale = tinyScale;
+    MiniSystem m;
+    auto w = makeWorkload(GetParam(), cfg);
+    w->run(m.rt);
+    EXPECT_DOUBLE_EQ(w->outputError(w->output(), w->output()), 0.0);
+}
+
+TEST_P(WorkloadSuite, AnnotatesApproximateRegions)
+{
+    WorkloadConfig cfg;
+    cfg.scale = tinyScale;
+    MiniSystem m;
+    auto w = makeWorkload(GetParam(), cfg);
+    w->run(m.rt);
+    EXPECT_FALSE(m.reg.regions().empty());
+}
+
+TEST_P(WorkloadSuite, ErrorMetricDetectsPerturbation)
+{
+    WorkloadConfig cfg;
+    cfg.scale = tinyScale;
+    MiniSystem m;
+    auto w = makeWorkload(GetParam(), cfg);
+    w->run(m.rt);
+    // Flip/perturb every output: the metric must report high error.
+    std::vector<double> garbled = w->output();
+    for (double &v : garbled)
+        v = v * 1.9 + 3.7;
+    EXPECT_GT(w->outputError(garbled, w->output()), 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadSuite,
+                         ::testing::ValuesIn(workloadNames()));
+
+TEST(Workloads, NameListHasNine)
+{
+    EXPECT_EQ(workloadNames().size(), 9u);
+}
+
+TEST(WorkloadsDeathTest, UnknownNameFatal)
+{
+    WorkloadConfig cfg;
+    EXPECT_EXIT(makeWorkload("nosuch", cfg),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(Workloads, OutputErrorHelperMatchesMethod)
+{
+    WorkloadConfig cfg;
+    cfg.scale = tinyScale;
+    MiniSystem m;
+    auto w = makeWorkload("jpeg", cfg);
+    w->run(m.rt);
+    std::vector<double> other = w->output();
+    if (!other.empty())
+        other[0] += 10.0;
+    EXPECT_DOUBLE_EQ(
+        workloadOutputError("jpeg", other, w->output()),
+        w->outputError(other, w->output()));
+}
+
+} // namespace dopp
