@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_map_space_savings.dir/bench_fig07_map_space_savings.cc.o"
+  "CMakeFiles/bench_fig07_map_space_savings.dir/bench_fig07_map_space_savings.cc.o.d"
+  "bench_fig07_map_space_savings"
+  "bench_fig07_map_space_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_map_space_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

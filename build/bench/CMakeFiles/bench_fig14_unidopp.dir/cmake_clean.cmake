@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_unidopp.dir/bench_fig14_unidopp.cc.o"
+  "CMakeFiles/bench_fig14_unidopp.dir/bench_fig14_unidopp.cc.o.d"
+  "bench_fig14_unidopp"
+  "bench_fig14_unidopp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_unidopp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

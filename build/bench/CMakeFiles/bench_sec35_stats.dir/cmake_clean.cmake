@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec35_stats.dir/bench_sec35_stats.cc.o"
+  "CMakeFiles/bench_sec35_stats.dir/bench_sec35_stats.cc.o.d"
+  "bench_sec35_stats"
+  "bench_sec35_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec35_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_config.cc" "bench/CMakeFiles/bench_table1_config.dir/bench_table1_config.cc.o" "gcc" "bench/CMakeFiles/bench_table1_config.dir/bench_table1_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/dopp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/dopp_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dopp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dopp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/dopp_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dopp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dopp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dopp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

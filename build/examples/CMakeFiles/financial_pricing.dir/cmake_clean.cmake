@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/financial_pricing.dir/financial_pricing.cpp.o"
+  "CMakeFiles/financial_pricing.dir/financial_pricing.cpp.o.d"
+  "financial_pricing"
+  "financial_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/financial_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/similarity.cc" "src/analysis/CMakeFiles/dopp_analysis.dir/similarity.cc.o" "gcc" "src/analysis/CMakeFiles/dopp_analysis.dir/similarity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dopp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/dopp_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dopp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dopp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dopp_analysis.dir/similarity.cc.o"
+  "CMakeFiles/dopp_analysis.dir/similarity.cc.o.d"
+  "libdopp_analysis.a"
+  "libdopp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dopp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

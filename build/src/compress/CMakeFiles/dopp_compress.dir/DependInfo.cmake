@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/bdi.cc" "src/compress/CMakeFiles/dopp_compress.dir/bdi.cc.o" "gcc" "src/compress/CMakeFiles/dopp_compress.dir/bdi.cc.o.d"
+  "/root/repo/src/compress/bdi_llc.cc" "src/compress/CMakeFiles/dopp_compress.dir/bdi_llc.cc.o" "gcc" "src/compress/CMakeFiles/dopp_compress.dir/bdi_llc.cc.o.d"
+  "/root/repo/src/compress/dedup.cc" "src/compress/CMakeFiles/dopp_compress.dir/dedup.cc.o" "gcc" "src/compress/CMakeFiles/dopp_compress.dir/dedup.cc.o.d"
+  "/root/repo/src/compress/fpc.cc" "src/compress/CMakeFiles/dopp_compress.dir/fpc.cc.o" "gcc" "src/compress/CMakeFiles/dopp_compress.dir/fpc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dopp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dopp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dopp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dopp_compress.dir/bdi.cc.o"
+  "CMakeFiles/dopp_compress.dir/bdi.cc.o.d"
+  "CMakeFiles/dopp_compress.dir/bdi_llc.cc.o"
+  "CMakeFiles/dopp_compress.dir/bdi_llc.cc.o.d"
+  "CMakeFiles/dopp_compress.dir/dedup.cc.o"
+  "CMakeFiles/dopp_compress.dir/dedup.cc.o.d"
+  "CMakeFiles/dopp_compress.dir/fpc.cc.o"
+  "CMakeFiles/dopp_compress.dir/fpc.cc.o.d"
+  "libdopp_compress.a"
+  "libdopp_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dopp_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/doppelganger_cache.cc" "src/core/CMakeFiles/dopp_core.dir/doppelganger_cache.cc.o" "gcc" "src/core/CMakeFiles/dopp_core.dir/doppelganger_cache.cc.o.d"
+  "/root/repo/src/core/map_function.cc" "src/core/CMakeFiles/dopp_core.dir/map_function.cc.o" "gcc" "src/core/CMakeFiles/dopp_core.dir/map_function.cc.o.d"
+  "/root/repo/src/core/split_llc.cc" "src/core/CMakeFiles/dopp_core.dir/split_llc.cc.o" "gcc" "src/core/CMakeFiles/dopp_core.dir/split_llc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dopp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dopp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dopp_core.dir/doppelganger_cache.cc.o"
+  "CMakeFiles/dopp_core.dir/doppelganger_cache.cc.o.d"
+  "CMakeFiles/dopp_core.dir/map_function.cc.o"
+  "CMakeFiles/dopp_core.dir/map_function.cc.o.d"
+  "CMakeFiles/dopp_core.dir/split_llc.cc.o"
+  "CMakeFiles/dopp_core.dir/split_llc.cc.o.d"
+  "libdopp_core.a"
+  "libdopp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dopp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/cacti_lite.cc" "src/energy/CMakeFiles/dopp_energy.dir/cacti_lite.cc.o" "gcc" "src/energy/CMakeFiles/dopp_energy.dir/cacti_lite.cc.o.d"
+  "/root/repo/src/energy/energy_model.cc" "src/energy/CMakeFiles/dopp_energy.dir/energy_model.cc.o" "gcc" "src/energy/CMakeFiles/dopp_energy.dir/energy_model.cc.o.d"
+  "/root/repo/src/energy/hardware_cost.cc" "src/energy/CMakeFiles/dopp_energy.dir/hardware_cost.cc.o" "gcc" "src/energy/CMakeFiles/dopp_energy.dir/hardware_cost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dopp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dopp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dopp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

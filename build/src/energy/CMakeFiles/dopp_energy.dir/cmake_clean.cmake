@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dopp_energy.dir/cacti_lite.cc.o"
+  "CMakeFiles/dopp_energy.dir/cacti_lite.cc.o.d"
+  "CMakeFiles/dopp_energy.dir/energy_model.cc.o"
+  "CMakeFiles/dopp_energy.dir/energy_model.cc.o.d"
+  "CMakeFiles/dopp_energy.dir/hardware_cost.cc.o"
+  "CMakeFiles/dopp_energy.dir/hardware_cost.cc.o.d"
+  "libdopp_energy.a"
+  "libdopp_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dopp_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

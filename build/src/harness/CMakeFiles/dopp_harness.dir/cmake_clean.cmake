@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dopp_harness.dir/experiment.cc.o"
+  "CMakeFiles/dopp_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/dopp_harness.dir/report.cc.o"
+  "CMakeFiles/dopp_harness.dir/report.cc.o.d"
+  "CMakeFiles/dopp_harness.dir/results_io.cc.o"
+  "CMakeFiles/dopp_harness.dir/results_io.cc.o.d"
+  "libdopp_harness.a"
+  "libdopp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dopp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

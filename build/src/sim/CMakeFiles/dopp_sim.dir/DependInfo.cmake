@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/approx.cc" "src/sim/CMakeFiles/dopp_sim.dir/approx.cc.o" "gcc" "src/sim/CMakeFiles/dopp_sim.dir/approx.cc.o.d"
+  "/root/repo/src/sim/hierarchy.cc" "src/sim/CMakeFiles/dopp_sim.dir/hierarchy.cc.o" "gcc" "src/sim/CMakeFiles/dopp_sim.dir/hierarchy.cc.o.d"
+  "/root/repo/src/sim/llc.cc" "src/sim/CMakeFiles/dopp_sim.dir/llc.cc.o" "gcc" "src/sim/CMakeFiles/dopp_sim.dir/llc.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/dopp_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/dopp_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dopp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dopp_sim.dir/approx.cc.o"
+  "CMakeFiles/dopp_sim.dir/approx.cc.o.d"
+  "CMakeFiles/dopp_sim.dir/hierarchy.cc.o"
+  "CMakeFiles/dopp_sim.dir/hierarchy.cc.o.d"
+  "CMakeFiles/dopp_sim.dir/llc.cc.o"
+  "CMakeFiles/dopp_sim.dir/llc.cc.o.d"
+  "CMakeFiles/dopp_sim.dir/trace.cc.o"
+  "CMakeFiles/dopp_sim.dir/trace.cc.o.d"
+  "libdopp_sim.a"
+  "libdopp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dopp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

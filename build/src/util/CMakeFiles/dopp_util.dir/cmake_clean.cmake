@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dopp_util.dir/logging.cc.o"
+  "CMakeFiles/dopp_util.dir/logging.cc.o.d"
+  "libdopp_util.a"
+  "libdopp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dopp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dopp_workloads.dir/blackscholes.cc.o"
+  "CMakeFiles/dopp_workloads.dir/blackscholes.cc.o.d"
+  "CMakeFiles/dopp_workloads.dir/canneal.cc.o"
+  "CMakeFiles/dopp_workloads.dir/canneal.cc.o.d"
+  "CMakeFiles/dopp_workloads.dir/ferret.cc.o"
+  "CMakeFiles/dopp_workloads.dir/ferret.cc.o.d"
+  "CMakeFiles/dopp_workloads.dir/fluidanimate.cc.o"
+  "CMakeFiles/dopp_workloads.dir/fluidanimate.cc.o.d"
+  "CMakeFiles/dopp_workloads.dir/inversek2j.cc.o"
+  "CMakeFiles/dopp_workloads.dir/inversek2j.cc.o.d"
+  "CMakeFiles/dopp_workloads.dir/jmeint.cc.o"
+  "CMakeFiles/dopp_workloads.dir/jmeint.cc.o.d"
+  "CMakeFiles/dopp_workloads.dir/jpeg.cc.o"
+  "CMakeFiles/dopp_workloads.dir/jpeg.cc.o.d"
+  "CMakeFiles/dopp_workloads.dir/kmeans.cc.o"
+  "CMakeFiles/dopp_workloads.dir/kmeans.cc.o.d"
+  "CMakeFiles/dopp_workloads.dir/swaptions.cc.o"
+  "CMakeFiles/dopp_workloads.dir/swaptions.cc.o.d"
+  "CMakeFiles/dopp_workloads.dir/workload.cc.o"
+  "CMakeFiles/dopp_workloads.dir/workload.cc.o.d"
+  "libdopp_workloads.a"
+  "libdopp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dopp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

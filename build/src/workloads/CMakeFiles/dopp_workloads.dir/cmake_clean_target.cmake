@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdopp_workloads.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bdi_llc.dir/test_bdi_llc.cc.o"
+  "CMakeFiles/test_bdi_llc.dir/test_bdi_llc.cc.o.d"
+  "test_bdi_llc"
+  "test_bdi_llc.pdb"
+  "test_bdi_llc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bdi_llc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

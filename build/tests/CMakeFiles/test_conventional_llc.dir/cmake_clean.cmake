@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conventional_llc.dir/test_conventional_llc.cc.o"
+  "CMakeFiles/test_conventional_llc.dir/test_conventional_llc.cc.o.d"
+  "test_conventional_llc"
+  "test_conventional_llc.pdb"
+  "test_conventional_llc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conventional_llc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

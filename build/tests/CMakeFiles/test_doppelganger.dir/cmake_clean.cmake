@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_doppelganger.dir/test_doppelganger.cc.o"
+  "CMakeFiles/test_doppelganger.dir/test_doppelganger.cc.o.d"
+  "test_doppelganger"
+  "test_doppelganger.pdb"
+  "test_doppelganger[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_doppelganger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

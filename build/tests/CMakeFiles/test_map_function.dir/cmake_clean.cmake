@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_map_function.dir/test_map_function.cc.o"
+  "CMakeFiles/test_map_function.dir/test_map_function.cc.o.d"
+  "test_map_function"
+  "test_map_function.pdb"
+  "test_map_function[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_map_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

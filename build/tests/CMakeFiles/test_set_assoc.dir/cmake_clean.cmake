@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_set_assoc.dir/test_set_assoc.cc.o"
+  "CMakeFiles/test_set_assoc.dir/test_set_assoc.cc.o.d"
+  "test_set_assoc"
+  "test_set_assoc.pdb"
+  "test_set_assoc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_set_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_split_llc.dir/test_split_llc.cc.o"
+  "CMakeFiles/test_split_llc.dir/test_split_llc.cc.o.d"
+  "test_split_llc"
+  "test_split_llc.pdb"
+  "test_split_llc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_split_llc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

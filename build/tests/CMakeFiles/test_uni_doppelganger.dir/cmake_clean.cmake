@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uni_doppelganger.dir/test_uni_doppelganger.cc.o"
+  "CMakeFiles/test_uni_doppelganger.dir/test_uni_doppelganger.cc.o.d"
+  "test_uni_doppelganger"
+  "test_uni_doppelganger.pdb"
+  "test_uni_doppelganger[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uni_doppelganger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_behavior.dir/test_workload_behavior.cc.o"
+  "CMakeFiles/test_workload_behavior.dir/test_workload_behavior.cc.o.d"
+  "test_workload_behavior"
+  "test_workload_behavior.pdb"
+  "test_workload_behavior[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

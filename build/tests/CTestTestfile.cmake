@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_approx[1]_include.cmake")
+include("/root/repo/build/tests/test_set_assoc[1]_include.cmake")
+include("/root/repo/build/tests/test_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_map_function[1]_include.cmake")
+include("/root/repo/build/tests/test_doppelganger[1]_include.cmake")
+include("/root/repo/build/tests/test_conventional_llc[1]_include.cmake")
+include("/root/repo/build/tests/test_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_bdi[1]_include.cmake")
+include("/root/repo/build/tests/test_dedup[1]_include.cmake")
+include("/root/repo/build/tests/test_energy[1]_include.cmake")
+include("/root/repo/build/tests/test_split_llc[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_workload_behavior[1]_include.cmake")
+include("/root/repo/build/tests/test_bdi_llc[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_fpc[1]_include.cmake")
+include("/root/repo/build/tests/test_coherence[1]_include.cmake")
+include("/root/repo/build/tests/test_uni_doppelganger[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
