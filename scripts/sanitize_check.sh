@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Build the whole tree under ASan+UBSan and run the tier-1 test suite.
+# Any leak, out-of-bounds access or UB in the simulator (including the
+# fault-injection/repair paths, which mutate raw metadata on purpose)
+# fails this script. Intended for CI and pre-merge checks:
+#
+#   scripts/sanitize_check.sh [build-dir] [ctest-args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-sanitize}"
+shift || true
+
+cmake -B "$BUILD_DIR" -S . \
+    -DDOPP_SANITIZE="address;undefined" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error so UBSan findings fail the run instead of just logging.
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
+echo "sanitize_check: all tests passed under ASan+UBSan"

@@ -1,7 +1,10 @@
 #include "doppelganger_cache.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/bitfield.hh"
@@ -304,7 +307,14 @@ DoppelgangerCache::insertBlock(Addr addr, const u8 *bytes)
     ++llcStats.tagArray.writes;
 
     const ApproxRegion *region = registry ? registry->find(addr) : nullptr;
-    const bool approx = cfg.unified ? region != nullptr : true;
+    bool approx = cfg.unified ? region != nullptr : true;
+    if (approx && cfg.unified && guardrail && guardrail->degraded()) {
+        // QoR guardrail tripped: degrade gracefully by storing
+        // would-be-approximate fills precisely (exact data, exclusive
+        // entry) until the error estimate recovers.
+        approx = false;
+        ++llcStats.degradedFills;
+    }
 
     if (!approx) {
         // uniDoppelgänger precise path (Sec 3.8): an exclusive data
@@ -322,6 +332,7 @@ DoppelgangerCache::insertBlock(Addr addr, const u8 *bytes)
         t.map = static_cast<u64>(didx);
         ++llcStats.mtagArray.writes;
         ++llcStats.dataArray.writes;
+        observeClean();
         return;
     }
 
@@ -333,11 +344,13 @@ DoppelgangerCache::insertBlock(Addr addr, const u8 *bytes)
     const i32 existing = findDataByMap(map);
     if (existing >= 0) {
         // A similar block exists: share its entry, drop the fetched
-        // data (Sec 3.3 "Similar Data Block Exists").
+        // data (Sec 3.3 "Similar Data Block Exists"). Future reads
+        // serve the doppelgänger — report the substitution error.
         linkHead(tidx, existing);
         t.map = map;
         data.touch(static_cast<u32>(existing) / cfg.dataWays,
                    static_cast<u32>(existing) % cfg.dataWays);
+        observeSubstitution(addr, bytes, dataAt(existing));
         return;
     }
 
@@ -355,11 +368,13 @@ DoppelgangerCache::insertBlock(Addr addr, const u8 *bytes)
     t.map = map;
     ++llcStats.mtagArray.writes;
     ++llcStats.dataArray.writes;
+    observeClean();
 }
 
 LastLevelCache::FetchResult
 DoppelgangerCache::fetch(Addr addr, u8 *out)
 {
+    injectFaults();
     ++llcStats.fetches;
     ++llcStats.tagArray.reads;
 
@@ -378,6 +393,7 @@ DoppelgangerCache::fetch(Addr addr, u8 *out)
         data.touch(static_cast<u32>(didx) / cfg.dataWays,
                    static_cast<u32>(didx) % cfg.dataWays);
         std::memcpy(out, d.data.data(), blockBytes);
+        observeClean();
         return {true, cfg.hitLatency};
     }
 
@@ -392,6 +408,7 @@ DoppelgangerCache::fetch(Addr addr, u8 *out)
 void
 DoppelgangerCache::writeback(Addr addr, const u8 *bytes)
 {
+    injectFaults();
     ++llcStats.writebacksIn;
     ++llcStats.tagArray.reads;
 
@@ -401,6 +418,7 @@ DoppelgangerCache::writeback(Addr addr, const u8 *bytes)
         // this only happens for orphan drains); go straight to memory.
         mem.writeBlock(addr, bytes);
         ++llcStats.dirtyWritebacks;
+        observeClean();
         return;
     }
 
@@ -413,6 +431,7 @@ DoppelgangerCache::writeback(Addr addr, const u8 *bytes)
         std::memcpy(d.data.data(), bytes, blockBytes);
         t.dirty = true;
         ++llcStats.dataArray.writes;
+        observeClean();
         return;
     }
 
@@ -421,8 +440,11 @@ DoppelgangerCache::writeback(Addr addr, const u8 *bytes)
     ++llcStats.mapGens;
 
     if (newMap == t.map) {
-        // Silent or similarity-preserving store: dirty bit only.
+        // Silent or similarity-preserving store: dirty bit only; the
+        // written values are dropped in favor of the shared entry.
         t.dirty = true;
+        if (guardrail)
+            observeSubstitution(addr, bytes, dataAt(dataIndexOfTag(t)));
         return;
     }
 
@@ -446,6 +468,7 @@ DoppelgangerCache::writeback(Addr addr, const u8 *bytes)
         t.dirty = true;
         data.touch(static_cast<u32>(existing) / cfg.dataWays,
                    static_cast<u32>(existing) % cfg.dataWays);
+        observeSubstitution(addr, bytes, dataAt(existing));
         return;
     }
 
@@ -463,6 +486,7 @@ DoppelgangerCache::writeback(Addr addr, const u8 *bytes)
     t.dirty = true;
     ++llcStats.mtagArray.writes;
     ++llcStats.dataArray.writes;
+    observeClean();
 }
 
 bool
@@ -591,7 +615,11 @@ DoppelgangerCache::checkInvariants(std::string *why) const
             return fail("valid data entry with empty tag list");
         u64 walked = 0;
         i32 prev = -1;
-        for (i32 cur = e.head; cur >= 0; cur = tagAt(cur).next) {
+        i32 cur = e.head;
+        while (cur >= 0) {
+            // Corrupted pointers must be reported, never dereferenced.
+            if (static_cast<u64>(cur) >= totalTags)
+                return fail("list pointer out of range");
             const TagEntry &t = tagAt(cur);
             if (!t.valid)
                 return fail("list contains an invalid tag");
@@ -602,6 +630,7 @@ DoppelgangerCache::checkInvariants(std::string *why) const
                 return fail("listed tag maps elsewhere");
             }
             prev = cur;
+            cur = t.next;
             if (++walked > totalTags)
                 return fail("tag list cycle");
         }
@@ -618,6 +647,294 @@ DoppelgangerCache::mapOf(Addr addr) const
     if (tidx < 0 || tagAt(tidx).precise)
         return std::nullopt;
     return tagAt(tidx).map;
+}
+
+void
+DoppelgangerCache::injectFaults()
+{
+    if (!faults)
+        return;
+    faults->step();
+    if (faults->draw(FaultDomain::LlcData))
+        injectDataFault();
+    bool structural = false;
+    if (faults->draw(FaultDomain::TagMeta))
+        structural |= injectTagMetaFault();
+    if (faults->draw(FaultDomain::MTagMeta))
+        structural |= injectMTagMetaFault();
+    // Repair immediately so every normal operation path below always
+    // runs on structurally consistent metadata.
+    if (structural)
+        selfCheckAndRepair();
+}
+
+void
+DoppelgangerCache::injectDataFault()
+{
+    const u64 total = static_cast<u64>(data.sets()) * cfg.dataWays;
+    const u64 slot = faults->pick(total);
+    const u32 bit = static_cast<u32>(faults->pick(blockBytes * 8));
+    DataEntry &d = dataAt(static_cast<i32>(slot));
+    // An invalid pick lands in an unused cell; precise entries live in
+    // the reliable (non-voltage-scaled) part of the array.
+    if (!d.valid || d.precise)
+        return;
+
+    // The flip is served to every tag sharing this entry; quantify it
+    // with the head tag's region parameters.
+    const MapParams p =
+        d.head >= 0 ? paramsFor(tagAddr(d.head)) : paramsFor(0);
+    const unsigned elem = bit / elemBits(p.type);
+    const double before = blockElement(d.data.data(), p.type, elem);
+    d.data[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+    const double after = blockElement(d.data.data(), p.type, elem);
+
+    faults->record(FaultDomain::LlcData, slot, 0, bit);
+    ++llcStats.faultsInjected;
+    if (guardrail) {
+        // The flipped element's own normalized error, not the block
+        // mean: a consumer of that element sees the full deviation, and
+        // averaging a single corrupt value over 16 clean neighbours
+        // would hide exactly the rare catastrophic flips (sign or
+        // exponent bits) the guardrail exists to catch.
+        const double span = std::max(p.maxValue - p.minValue, 1e-30);
+        double err = std::abs(after - before) / span;
+        if (!std::isfinite(err) || err > 1.0)
+            err = 1.0;
+        guardrail->observeError(err);
+    }
+}
+
+bool
+DoppelgangerCache::injectTagMetaFault()
+{
+    const u64 totalTags = static_cast<u64>(tags.sets()) * cfg.tagWays;
+    const u64 totalData = static_cast<u64>(data.sets()) * cfg.dataWays;
+    const i32 idx = static_cast<i32>(faults->pick(totalTags));
+    // Fields: 0 = map value, 1 = prev, 2 = next, 3 = dirty bit,
+    // 4 = precise bit (unified mode only).
+    const u32 field =
+        static_cast<u32>(faults->pick(cfg.unified ? 5 : 4));
+    TagEntry &t = tagAt(idx);
+    if (!t.valid)
+        return false; // flip in a dead cell: unobservable
+
+    switch (field) {
+      case 0: {
+        // Map value — or the direct data-entry pointer when precise.
+        unsigned width;
+        if (t.precise)
+            width = ceilLog2(std::max<u64>(totalData, 2)) + 1;
+        else if (cfg.mapOverride)
+            width = 64; // content-hash override stores full 64-bit maps
+        else
+            width = mapWidth(paramsFor(tagAddr(idx)), cfg.hashMode);
+        const u32 bit = static_cast<u32>(faults->pick(width));
+        t.map ^= 1ULL << bit;
+        faults->record(FaultDomain::TagMeta, static_cast<u64>(idx),
+                       field, bit);
+        ++llcStats.faultsInjected;
+        return true;
+      }
+      case 1:
+      case 2: {
+        // List pointer: flip within the stored index width plus one
+        // spare bit, so null (-1) can corrupt into garbage too.
+        const unsigned width =
+            ceilLog2(std::max<u64>(totalTags, 2)) + 1;
+        const u32 bit = static_cast<u32>(faults->pick(width));
+        i32 &ptr = field == 1 ? t.prev : t.next;
+        ptr = static_cast<i32>(static_cast<u32>(ptr) ^ (1u << bit));
+        faults->record(FaultDomain::TagMeta, static_cast<u64>(idx),
+                       field, bit);
+        ++llcStats.faultsInjected;
+        return true;
+      }
+      case 3:
+        // Dirty bit: undetectable by structural checks. A spurious set
+        // costs one extra writeback; a cleared one loses an update.
+        t.dirty = !t.dirty;
+        faults->record(FaultDomain::TagMeta, static_cast<u64>(idx),
+                       field, 0);
+        ++llcStats.faultsInjected;
+        return false;
+      default:
+        t.precise = !t.precise;
+        faults->record(FaultDomain::TagMeta, static_cast<u64>(idx),
+                       field, 0);
+        ++llcStats.faultsInjected;
+        return true;
+    }
+}
+
+bool
+DoppelgangerCache::injectMTagMetaFault()
+{
+    const u64 totalTags = static_cast<u64>(tags.sets()) * cfg.tagWays;
+    const u64 totalData = static_cast<u64>(data.sets()) * cfg.dataWays;
+    const i32 idx = static_cast<i32>(faults->pick(totalData));
+    // Fields: 0 = map tag, 1 = head pointer, 2 = precise bit (unified).
+    const u32 field =
+        static_cast<u32>(faults->pick(cfg.unified ? 3 : 2));
+    DataEntry &d = dataAt(idx);
+    if (!d.valid)
+        return false;
+
+    switch (field) {
+      case 0: {
+        // Stored map tag (the block address for precise entries).
+        unsigned width;
+        if (d.precise)
+            width = 32; // block-address tag
+        else if (cfg.mapOverride)
+            width = 64;
+        else if (d.head >= 0 &&
+                 static_cast<u64>(d.head) < totalTags)
+            width = mapWidth(paramsFor(tagAddr(d.head)), cfg.hashMode);
+        else
+            width = cfg.mapBits;
+        const u32 bit = static_cast<u32>(faults->pick(width));
+        d.tag ^= 1ULL << bit;
+        faults->record(FaultDomain::MTagMeta, static_cast<u64>(idx),
+                       field, bit);
+        ++llcStats.faultsInjected;
+        return true;
+      }
+      case 1: {
+        const unsigned width =
+            ceilLog2(std::max<u64>(totalTags, 2)) + 1;
+        const u32 bit = static_cast<u32>(faults->pick(width));
+        d.head =
+            static_cast<i32>(static_cast<u32>(d.head) ^ (1u << bit));
+        faults->record(FaultDomain::MTagMeta, static_cast<u64>(idx),
+                       field, bit);
+        ++llcStats.faultsInjected;
+        return true;
+      }
+      default:
+        d.precise = !d.precise;
+        faults->record(FaultDomain::MTagMeta, static_cast<u64>(idx),
+                       field, 0);
+        ++llcStats.faultsInjected;
+        return true;
+    }
+}
+
+bool
+DoppelgangerCache::selfCheckAndRepair()
+{
+    std::string why;
+    if (checkInvariants(&why))
+        return false; // the flip was structurally silent
+
+    ++llcStats.faultsDetected;
+    if (faults)
+        faults->noteDetected();
+
+    const auto [tagsDropped, entriesDropped] = repairMetadata();
+    ++llcStats.faultsRepaired;
+    llcStats.repairTagsDropped += tagsDropped;
+    llcStats.repairEntriesDropped += entriesDropped;
+    if (faults)
+        faults->noteRepair(tagsDropped, entriesDropped);
+
+    std::string after;
+    if (!checkInvariants(&after)) {
+        panic("doppelganger repair failed to restore invariants: %s "
+              "(detected: %s)", after.c_str(), why.c_str());
+    }
+    return true;
+}
+
+std::pair<u64, u64>
+DoppelgangerCache::repairMetadata()
+{
+    const u64 totalTags = static_cast<u64>(tags.sets()) * cfg.tagWays;
+    const u64 totalData = static_cast<u64>(data.sets()) * cfg.dataWays;
+    u64 tagsDropped = 0;
+    u64 entriesDropped = 0;
+
+    // Phase 1: forget every list. The surviving per-tag metadata (map
+    // values, valid bits) is the ground truth lists are rebuilt from.
+    for (u64 i = 0; i < totalData; ++i) {
+        DataEntry &d = dataAt(static_cast<i32>(i));
+        if (d.valid)
+            d.head = -1;
+    }
+
+    // Phase 2: relink every valid tag from its own map field. A tag
+    // whose map no longer resolves has lost its shared data for good,
+    // but a dirty private copy upstream still holds exact values: drop
+    // the tag, rescuing that copy to memory (inclusion demands the
+    // back-invalidation either way).
+    for (u64 i = 0; i < totalTags; ++i) {
+        const i32 tidx = static_cast<i32>(i);
+        TagEntry &t = tagAt(tidx);
+        if (!t.valid)
+            continue;
+        bool resolved;
+        if (t.precise) {
+            const i32 didx = static_cast<i32>(t.map);
+            resolved =
+                didx >= 0 && static_cast<u64>(didx) < totalData;
+            if (resolved) {
+                DataEntry &d = dataAt(didx);
+                // Only the rightful, exclusive owner may reclaim a
+                // precise entry.
+                resolved = d.valid && d.precise && d.head < 0 &&
+                    d.tag == blockAlign(tagAddr(tidx));
+                if (resolved) {
+                    d.head = tidx;
+                    t.prev = -1;
+                    t.next = -1;
+                }
+            }
+        } else {
+            const i32 didx = findDataByMap(t.map);
+            resolved = didx >= 0;
+            if (resolved)
+                linkHead(tidx, didx);
+        }
+        if (!resolved) {
+            BlockData upward;
+            if (invalidateUpward(tagAddr(tidx), upward.data())) {
+                mem.writeBlock(tagAddr(tidx), upward.data());
+                ++llcStats.dirtyWritebacks;
+            }
+            t.valid = false;
+            t.prev = -1;
+            t.next = -1;
+            ++tagsDropped;
+        }
+    }
+
+    // Phase 3: free the entries no surviving tag claims.
+    for (u64 i = 0; i < totalData; ++i) {
+        DataEntry &d = dataAt(static_cast<i32>(i));
+        if (d.valid && d.head < 0) {
+            d.valid = false;
+            ++entriesDropped;
+        }
+    }
+    return {tagsDropped, entriesDropped};
+}
+
+void
+DoppelgangerCache::observeSubstitution(Addr addr, const u8 *exact,
+                                       const DataEntry &d)
+{
+    if (!guardrail)
+        return;
+    const MapParams p = paramsFor(addr);
+    guardrail->observeError(blockSubstitutionError(
+        d.data.data(), exact, p.type, p.maxValue - p.minValue));
+}
+
+void
+DoppelgangerCache::observeClean()
+{
+    if (guardrail)
+        guardrail->observeClean();
 }
 
 } // namespace dopp

@@ -165,17 +165,35 @@ class DoppelgangerCache : public LastLevelCache
     const DoppConfig &config() const { return cfg; }
 
     /**
-     * Exhaustive structural invariant check (tests):
+     * Exhaustive structural invariant check (tests, fault repair):
      *  - every valid tag's map resolves to a valid data entry;
      *  - walking each data entry's list visits exactly the valid tags
      *    whose map points at it, with consistent prev/next links;
      *  - every valid approximate data entry has a non-empty list;
      *  - precise tags (unified mode) have null prev/next and own their
      *    entry exclusively.
+     * Hardened against corrupted metadata: out-of-range pointers and
+     * cycles are reported as violations, never dereferenced.
      * @param why receives a description of the first violation.
      * @return true iff all invariants hold.
      */
     bool checkInvariants(std::string *why = nullptr) const;
+
+    /**
+     * Self-check-and-repair path for injected metadata faults: runs
+     * checkInvariants and, on a violation, rebuilds every tag list
+     * from the surviving tag metadata — tags whose map no longer
+     * resolves to a data entry are back-invalidated and dropped
+     * (rescuing dirty private copies to memory), orphaned data entries
+     * are freed, and all prev/next links are regenerated. Counted in
+     * stats() as faultsDetected / faultsRepaired / repairTagsDropped /
+     * repairEntriesDropped. Panics if invariants still fail after the
+     * rebuild (repair is by construction exhaustive, so that would be
+     * a simulator bug).
+     *
+     * @return true if a corruption was detected (and repaired).
+     */
+    bool selfCheckAndRepair();
     /// @}
 
   private:
@@ -255,6 +273,39 @@ class DoppelgangerCache : public LastLevelCache
 
     /** Handle the off-critical-path part of a fetch miss (Sec 3.3). */
     void insertBlock(Addr addr, const u8 *bytes);
+
+    /** @name Fault injection and QoR reporting (src/fault) */
+    /// @{
+
+    /** Per-operation injector hook, run at every fetch/writeback:
+     * draws data/metadata faults, applies them, and self-checks after
+     * any structural mutation. */
+    void injectFaults();
+
+    /** Flip one bit of a (valid, approximate) data entry's 64 B. */
+    void injectDataFault();
+
+    /** Flip one tag-metadata bit (map, prev/next, dirty, precise).
+     * @return whether the flip can break structural invariants. */
+    bool injectTagMetaFault();
+
+    /** Flip one MTag-metadata bit (map tag, head, precise).
+     * @return whether the flip can break structural invariants. */
+    bool injectMTagMetaFault();
+
+    /** Rebuild all tag lists from surviving metadata (see
+     * selfCheckAndRepair). @return {tags dropped, entries dropped}. */
+    std::pair<u64, u64> repairMetadata();
+
+    /** Report a fill/writeback substitution error to the guardrail:
+     * the requester's exact @p exact bytes were replaced by entry
+     * @p d's stored doppelgänger. */
+    void observeSubstitution(Addr addr, const u8 *exact,
+                             const DataEntry &d);
+
+    /** Report an error-free operation to the guardrail. */
+    void observeClean();
+    /// @}
 
     DoppConfig cfg;
     const ApproxRegistry *registry;

@@ -6,24 +6,13 @@ namespace dopp
 LlcStats
 addStats(const LlcStats &a, const LlcStats &b)
 {
+    // Field-wise over the canonical counter list: a counter added to
+    // LlcStats but missing from llcStatFields() trips the size
+    // static_assert in llc.cc, so nothing can silently vanish from
+    // the aggregated sum (and nothing is ever double-counted).
     LlcStats s;
-    s.fetches = a.fetches + b.fetches;
-    s.fetchHits = a.fetchHits + b.fetchHits;
-    s.fetchMisses = a.fetchMisses + b.fetchMisses;
-    s.writebacksIn = a.writebacksIn + b.writebacksIn;
-    s.evictions = a.evictions + b.evictions;
-    s.dataEvictions = a.dataEvictions + b.dataEvictions;
-    s.dirtyWritebacks = a.dirtyWritebacks + b.dirtyWritebacks;
-    s.backInvalidations = a.backInvalidations + b.backInvalidations;
-    s.tagArray.reads = a.tagArray.reads + b.tagArray.reads;
-    s.tagArray.writes = a.tagArray.writes + b.tagArray.writes;
-    s.mtagArray.reads = a.mtagArray.reads + b.mtagArray.reads;
-    s.mtagArray.writes = a.mtagArray.writes + b.mtagArray.writes;
-    s.dataArray.reads = a.dataArray.reads + b.dataArray.reads;
-    s.dataArray.writes = a.dataArray.writes + b.dataArray.writes;
-    s.mapGens = a.mapGens + b.mapGens;
-    s.linkedTagsSum = a.linkedTagsSum + b.linkedTagsSum;
-    s.linkedTagsSamples = a.linkedTagsSamples + b.linkedTagsSamples;
+    for (const LlcStatField &f : llcStatFields())
+        f.ref(s) = f.value(a) + f.value(b);
     return s;
 }
 
@@ -48,15 +37,28 @@ SplitLlc::setBackInvalidate(BackInvalidateFn fn)
 LastLevelCache::FetchResult
 SplitLlc::fetch(Addr addr, u8 *data)
 {
-    if (registry.isApprox(addr))
+    if (registry.isApprox(addr)) {
+        // Blocks the guardrail routed precise stay coherent: serve
+        // them from the precise half until it evicts them.
+        if (preciseHalf->contains(addr))
+            return preciseHalf->fetch(addr, data);
+        if (guardrail && guardrail->degraded() &&
+            !doppHalf->contains(addr)) {
+            // Degraded: new approximate fills go to the precise half
+            // (exact storage) until the error estimate recovers.
+            // Doppelgänger-resident blocks keep hitting there.
+            ++llcStats.degradedFills;
+            return preciseHalf->fetch(addr, data);
+        }
         return doppHalf->fetch(addr, data);
+    }
     return preciseHalf->fetch(addr, data);
 }
 
 void
 SplitLlc::writeback(Addr addr, const u8 *data)
 {
-    if (registry.isApprox(addr))
+    if (registry.isApprox(addr) && !preciseHalf->contains(addr))
         doppHalf->writeback(addr, data);
     else
         preciseHalf->writeback(addr, data);
@@ -65,8 +67,11 @@ SplitLlc::writeback(Addr addr, const u8 *data)
 bool
 SplitLlc::contains(Addr addr) const
 {
-    return registry.isApprox(addr) ? doppHalf->contains(addr)
-                                   : preciseHalf->contains(addr);
+    if (registry.isApprox(addr)) {
+        return doppHalf->contains(addr) ||
+            preciseHalf->contains(addr);
+    }
+    return preciseHalf->contains(addr);
 }
 
 void
@@ -84,10 +89,34 @@ SplitLlc::flush()
     doppHalf->flush();
 }
 
+void
+SplitLlc::setFaultInjector(FaultInjector *fi)
+{
+    // Only the approximate structures take faults: the precise half
+    // models a conventional ECC-protected cache. The split's own
+    // llcStats never counts injections, so the aggregate counts each
+    // fault exactly once (in the Doppelgänger half).
+    doppHalf->setFaultInjector(fi);
+}
+
+void
+SplitLlc::setGuardrail(QorGuardrail *g)
+{
+    // The split consults degraded() for routing; the Doppelgänger half
+    // feeds the error estimate. degradedFills is counted only here.
+    guardrail = g;
+    doppHalf->setGuardrail(g);
+}
+
 const LlcStats &
 SplitLlc::stats() const
 {
-    combined = addStats(preciseHalf->stats(), doppHalf->stats());
+    // Sum of both halves plus the split's own routing counters
+    // (degradedFills); each event is counted in exactly one of the
+    // three blocks.
+    combined = addStats(addStats(preciseHalf->stats(),
+                                 doppHalf->stats()),
+                        llcStats);
     return combined;
 }
 
@@ -96,6 +125,7 @@ SplitLlc::resetStats()
 {
     preciseHalf->resetStats();
     doppHalf->resetStats();
+    llcStats = LlcStats();
 }
 
 } // namespace dopp

@@ -50,6 +50,8 @@ class SplitLlc : public LastLevelCache
     const char *name() const override { return "split-doppelganger"; }
 
     void setBackInvalidate(BackInvalidateFn fn) override;
+    void setFaultInjector(FaultInjector *fi) override;
+    void setGuardrail(QorGuardrail *g) override;
     const LlcStats &stats() const override;
     void resetStats() override;
 

@@ -1,0 +1,18 @@
+#include "fault_injector.hh"
+
+namespace dopp
+{
+
+const char *
+faultDomainName(FaultDomain domain)
+{
+    switch (domain) {
+      case FaultDomain::MemoryData: return "memory-data";
+      case FaultDomain::LlcData: return "llc-data";
+      case FaultDomain::TagMeta: return "tag-meta";
+      case FaultDomain::MTagMeta: return "mtag-meta";
+    }
+    return "?";
+}
+
+} // namespace dopp

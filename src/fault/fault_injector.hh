@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Deterministic fault injection for the approximate memory system.
+ *
+ * The paper assumes the only error source is the *intended* one —
+ * doppelgänger substitution within programmer-declared ranges. Real
+ * approximate-storage deployments add *unintended* error: bit flips in
+ * approximate DRAM partitions (Akiyama-style refresh relaxation) and
+ * soft errors in the SRAM arrays of the LLC itself. For a decoupled
+ * tag/data organization the dangerous flips are the metadata ones —
+ * map values, list pointers and state bits — because one flipped
+ * pointer can corrupt a whole tag list, not just one value.
+ *
+ * The FaultInjector models all of these with independent per-component
+ * Bernoulli rates driven by one seeded PRNG: equal seed + equal config
+ * + equal operation sequence reproduce the exact same fault trace,
+ * bit for bit. Clients (MainMemory via a hook, the LLC organizations
+ * directly) ask the injector at well-defined operation points whether a
+ * fault fires, apply the flip to their own structures, and record the
+ * event; the cache is then responsible for surviving it (see
+ * DoppelgangerCache::repairMetadata).
+ */
+
+#ifndef DOPP_FAULT_FAULT_INJECTOR_HH
+#define DOPP_FAULT_FAULT_INJECTOR_HH
+
+#include <array>
+#include <vector>
+
+#include "util/random.hh"
+#include "util/types.hh"
+
+namespace dopp
+{
+
+/** Where a fault landed. */
+enum class FaultDomain : u8
+{
+    MemoryData, ///< a bit of a main-memory block (approximate DRAM)
+    LlcData,    ///< a bit of an LLC data-array entry
+    TagMeta,    ///< tag-array metadata: map bits, prev/next, dirty/precise
+    MTagMeta,   ///< MTag/data-entry metadata: map tag, head pointer
+};
+
+constexpr unsigned faultDomainCount = 4;
+
+/** Human-readable domain name. */
+const char *faultDomainName(FaultDomain domain);
+
+/** One injected fault, as recorded in the deterministic fault trace. */
+struct FaultEvent
+{
+    u64 op = 0;        ///< injector operation counter at injection time
+    FaultDomain domain = FaultDomain::MemoryData;
+    u64 entry = 0;     ///< block address (memory) or entry index (LLC)
+    u32 field = 0;     ///< domain-specific field selector
+    u32 bit = 0;       ///< flipped bit within the field
+};
+
+/** Per-component fault rates; all zero disables injection entirely. */
+struct FaultConfig
+{
+    /** PRNG seed; the whole fault trace is a pure function of it. */
+    u64 seed = 0x5eedfa017ULL;
+
+    /** Probability a demand-read memory block takes one bit flip. */
+    double memoryRate = 0.0;
+
+    /** Probability per LLC operation of one data-array bit flip. */
+    double dataRate = 0.0;
+
+    /** Probability per LLC operation of one tag-metadata bit flip. */
+    double tagMetaRate = 0.0;
+
+    /** Probability per LLC operation of one MTag-metadata bit flip. */
+    double mtagMetaRate = 0.0;
+
+    bool
+    enabled() const
+    {
+        return memoryRate > 0.0 || dataRate > 0.0 ||
+            tagMetaRate > 0.0 || mtagMetaRate > 0.0;
+    }
+};
+
+/** Tallies the harness reports per run. */
+struct FaultStats
+{
+    std::array<u64, faultDomainCount> injected = {}; ///< per domain
+
+    u64 detected = 0;  ///< metadata faults caught by the self-check
+    u64 repairs = 0;   ///< repair passes run after a detection
+    u64 tagsDropped = 0;   ///< tags invalidated to restore invariants
+    u64 entriesDropped = 0; ///< data entries invalidated by repair
+
+    u64
+    totalInjected() const
+    {
+        u64 sum = 0;
+        for (u64 n : injected)
+            sum += n;
+        return sum;
+    }
+};
+
+/**
+ * Seeded Bernoulli fault source plus the trace of everything injected.
+ *
+ * The draw/pick split keeps injection deterministic without the
+ * injector knowing any structure geometry: the client draws whether a
+ * domain fires this operation, then uses pick() to choose entry, field
+ * and bit within its own structures, and records the resulting event.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultConfig &config)
+        : cfg(config), rng(config.seed)
+    {
+    }
+
+    const FaultConfig &config() const { return cfg; }
+
+    /** Advance the operation counter (one client operation). */
+    void step() { ++ops; }
+
+    /** Operation counter (for event timestamps). */
+    u64 opCount() const { return ops; }
+
+    /**
+     * Does a fault in @p domain fire this operation? Always consumes
+     * one PRNG draw when the domain's rate is non-zero, so the stream
+     * stays aligned whatever the outcomes are.
+     */
+    bool
+    draw(FaultDomain domain)
+    {
+        const double rate = rateOf(domain);
+        if (rate <= 0.0)
+            return false;
+        return rng.uniform() < rate;
+    }
+
+    /** Uniform integer in [0, bound) from the fault stream. */
+    u64
+    pick(u64 bound)
+    {
+        return bound > 1 ? rng.below(bound) : 0;
+    }
+
+    /** Record an applied fault in the trace and the per-domain tally. */
+    void
+    record(FaultDomain domain, u64 entry, u32 field, u32 bit)
+    {
+        FaultEvent e;
+        e.op = ops;
+        e.domain = domain;
+        e.entry = entry;
+        e.field = field;
+        e.bit = bit;
+        trace.push_back(e);
+        ++stats_.injected[static_cast<size_t>(domain)];
+    }
+
+    /** Count a metadata corruption caught by a structural self-check. */
+    void noteDetected() { ++stats_.detected; }
+
+    /** Count one repair pass and what it had to drop. */
+    void
+    noteRepair(u64 tags_dropped, u64 entries_dropped)
+    {
+        ++stats_.repairs;
+        stats_.tagsDropped += tags_dropped;
+        stats_.entriesDropped += entries_dropped;
+    }
+
+    /** Every fault injected so far, in injection order. */
+    const std::vector<FaultEvent> &events() const { return trace; }
+
+    const FaultStats &stats() const { return stats_; }
+
+  private:
+    double
+    rateOf(FaultDomain domain) const
+    {
+        switch (domain) {
+          case FaultDomain::MemoryData: return cfg.memoryRate;
+          case FaultDomain::LlcData: return cfg.dataRate;
+          case FaultDomain::TagMeta: return cfg.tagMetaRate;
+          case FaultDomain::MTagMeta: return cfg.mtagMetaRate;
+        }
+        return 0.0;
+    }
+
+    FaultConfig cfg;
+    Rng rng;
+    u64 ops = 0;
+    std::vector<FaultEvent> trace;
+    FaultStats stats_;
+};
+
+} // namespace dopp
+
+#endif // DOPP_FAULT_FAULT_INJECTOR_HH

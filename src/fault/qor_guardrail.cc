@@ -1,0 +1,27 @@
+#include "qor_guardrail.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dopp
+{
+
+double
+blockSubstitutionError(const u8 *served, const u8 *exact,
+                       ElemType elem_type, double span)
+{
+    const unsigned n = elemsPerBlock(elem_type);
+    const double width = std::max(span, 1e-30);
+    double sum = 0.0;
+    for (unsigned i = 0; i < n; ++i) {
+        const double a = blockElement(served, elem_type, i);
+        const double p = blockElement(exact, elem_type, i);
+        double err = std::abs(a - p) / width;
+        if (!std::isfinite(err) || err > 1.0)
+            err = 1.0; // cap: one wild element = one full-range miss
+        sum += err;
+    }
+    return sum / static_cast<double>(n);
+}
+
+} // namespace dopp

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Runtime quality-of-result guardrail with graceful precise-mode
+ * degradation.
+ *
+ * The paper bounds application error statically: the programmer
+ * declares value ranges and the map function guarantees any two blocks
+ * sharing an entry agree to within one bin. Injected faults break that
+ * guarantee — a flipped data bit or a mis-linked tag can serve values
+ * arbitrarily far from the declared range. The guardrail closes the
+ * loop at runtime: the LLC reports every *substitution event* whose
+ * error is exactly measurable in place (an approximate fill joining an
+ * existing entry, a writeback whose values are dropped, a data bit
+ * flip), the guardrail folds the per-element normalized error into an
+ * exponentially weighted estimate, and when the estimate exceeds the
+ * per-workload budget the LLC *degrades*: subsequent approximate fills
+ * take the precise path (split organization routes them to the precise
+ * half; uniDoppelgänger inserts them as precise entries). Hysteresis —
+ * a lower re-enable threshold plus a minimum dwell — keeps the state
+ * machine from chattering when the estimate sits near the budget.
+ *
+ * State machine:
+ *
+ *      estimate > budget, dwell elapsed
+ *   APPROX ────────────────────────────────► DEGRADED
+ *      ◄────────────────────────────────
+ *      estimate < budget × reenableFraction, dwell elapsed
+ */
+
+#ifndef DOPP_FAULT_QOR_GUARDRAIL_HH
+#define DOPP_FAULT_QOR_GUARDRAIL_HH
+
+#include <vector>
+
+#include "sim/approx.hh"
+#include "util/types.hh"
+
+namespace dopp
+{
+
+/** Guardrail tuning; budget <= 0 disables the guardrail entirely. */
+struct QorConfig
+{
+    /** Windowed mean normalized-error budget (e.g. 0.05 = 5%). */
+    double budget = 0.0;
+
+    /** Re-enable approximation when the estimate falls below
+     * budget × reenableFraction (hysteresis band). */
+    double reenableFraction = 0.5;
+
+    /** EWMA horizon in observations: alpha = 1 / window. */
+    u64 window = 512;
+
+    /** Minimum observations between state flips (anti-chatter). */
+    u64 minDwell = 128;
+
+    bool enabled() const { return budget > 0.0; }
+};
+
+/** One contiguous run of degraded (precise-mode) operation. */
+struct DegradedInterval
+{
+    u64 beginOp = 0; ///< observation count when degradation engaged
+    u64 endOp = 0;   ///< observation count when it lifted (or run end)
+};
+
+/**
+ * EWMA error estimator + budget comparator + hysteresis state machine.
+ * Purely deterministic: state is a function of the observation
+ * sequence only.
+ */
+class QorGuardrail
+{
+  public:
+    explicit QorGuardrail(const QorConfig &config) : cfg(config) {}
+
+    const QorConfig &config() const { return cfg; }
+
+    /**
+     * Fold one substitution event into the estimate: @p mean_error is
+     * the event's mean per-element error, already normalized to the
+     * region's declared span (1.0 = a full-range substitution).
+     */
+    void
+    observeError(double mean_error)
+    {
+        observe(mean_error < 0.0 ? 0.0 : mean_error);
+    }
+
+    /** Fold one error-free operation in (decays the estimate). */
+    void observeClean() { observe(0.0); }
+
+    /** Whether approximate fills should currently take the precise
+     * path. Always false when the guardrail is disabled. */
+    bool degraded() const { return degradedNow; }
+
+    /** Current EWMA error estimate. */
+    double estimate() const { return ewma; }
+
+    /** Observations folded in so far. */
+    u64 observations() const { return obs; }
+
+    /** APPROX→DEGRADED transitions taken. */
+    u64 degradationCount() const { return flips; }
+
+    /**
+     * Degradation intervals so far; an interval still open at call
+     * time is reported with endOp == current observation count.
+     */
+    std::vector<DegradedInterval>
+    intervals() const
+    {
+        std::vector<DegradedInterval> out = closed;
+        if (degradedNow) {
+            DegradedInterval open;
+            open.beginOp = openBegin;
+            open.endOp = obs;
+            out.push_back(open);
+        }
+        return out;
+    }
+
+    /** Observations spent in the degraded state so far. */
+    u64
+    degradedOps() const
+    {
+        u64 sum = 0;
+        for (const auto &iv : closed)
+            sum += iv.endOp - iv.beginOp;
+        if (degradedNow)
+            sum += obs - openBegin;
+        return sum;
+    }
+
+  private:
+    void
+    observe(double sample)
+    {
+        if (!cfg.enabled())
+            return;
+        ++obs;
+        const double alpha =
+            1.0 / static_cast<double>(cfg.window ? cfg.window : 1);
+        ewma += alpha * (sample - ewma);
+
+        if (obs - lastFlip < cfg.minDwell)
+            return;
+        if (!degradedNow && ewma > cfg.budget) {
+            degradedNow = true;
+            openBegin = obs;
+            lastFlip = obs;
+            ++flips;
+        } else if (degradedNow &&
+                   ewma < cfg.budget * cfg.reenableFraction) {
+            degradedNow = false;
+            DegradedInterval iv;
+            iv.beginOp = openBegin;
+            iv.endOp = obs;
+            closed.push_back(iv);
+            lastFlip = obs;
+        }
+    }
+
+    QorConfig cfg;
+    double ewma = 0.0;
+    u64 obs = 0;
+    u64 lastFlip = 0;
+    u64 flips = 0;
+    bool degradedNow = false;
+    u64 openBegin = 0;
+    std::vector<DegradedInterval> closed;
+};
+
+/**
+ * Mean per-element error between two 64 B blocks, normalized to
+ * @p span (the region's declared max − min); each element's
+ * contribution is capped at 1.0 so one wild element cannot report
+ * more than a full-range substitution. Elements are interpreted per
+ * @p type (sim/approx.hh).
+ */
+double blockSubstitutionError(const u8 *served, const u8 *exact,
+                              ElemType elem_type, double span);
+
+} // namespace dopp
+
+#endif // DOPP_FAULT_QOR_GUARDRAIL_HH

@@ -1,5 +1,7 @@
 #include "experiment.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <memory>
 
@@ -136,6 +138,52 @@ runWorkload(const std::string &workload_name, const RunConfig &cfg)
       }
     }
 
+    // Fault injection and QoR guardrail (attached independently: a
+    // guardrail without faults budgets the baseline approximation
+    // error; an injector without a guardrail measures raw resilience).
+    std::unique_ptr<FaultInjector> injector;
+    std::unique_ptr<QorGuardrail> guard;
+    if (cfg.fault.enabled())
+        injector = std::make_unique<FaultInjector>(cfg.fault);
+    if (cfg.qor.enabled())
+        guard = std::make_unique<QorGuardrail>(cfg.qor);
+
+    if (injector) {
+        llc->setFaultInjector(injector.get());
+        if (cfg.fault.memoryRate > 0.0) {
+            FaultInjector *fi = injector.get();
+            QorGuardrail *g = guard.get();
+            // Approximate-DRAM flips materialize at demand reads; only
+            // annotated regions live in the relaxed-refresh partition.
+            memory.faultHook = [fi, g, &registry](Addr addr,
+                                                  u8 *block) {
+                const ApproxRegion *region = registry.find(addr);
+                if (!region || !fi->draw(FaultDomain::MemoryData))
+                    return;
+                const u32 bit =
+                    static_cast<u32>(fi->pick(blockBytes * 8));
+                const unsigned elem = bit / elemBits(region->type);
+                const double before =
+                    blockElement(block, region->type, elem);
+                block[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+                const double after =
+                    blockElement(block, region->type, elem);
+                fi->record(FaultDomain::MemoryData, addr, 0, bit);
+                if (g) {
+                    // The flipped element's own error; see the data
+                    // fault hooks in llc.cc / doppelganger_cache.cc.
+                    double err = std::abs(after - before) /
+                        std::max(region->span(), 1e-30);
+                    if (!std::isfinite(err) || err > 1.0)
+                        err = 1.0;
+                    g->observeError(err);
+                }
+            };
+        }
+    }
+    if (guard)
+        llc->setGuardrail(guard.get());
+
     HierarchyConfig hc; // Table 1 defaults
     MemorySystem system(hc, *llc, memory);
     SimRuntime rt(system, memory, registry);
@@ -186,6 +234,16 @@ runWorkload(const std::string &workload_name, const RunConfig &cfg)
     r.memReads = memory.reads();
     r.memWrites = memory.writes();
     r.doppConfig = doppCfg;
+    if (injector) {
+        r.fault = injector->stats();
+        r.faultTrace = injector->events();
+    }
+    if (guard) {
+        r.guardrailDegradations = guard->degradationCount();
+        r.guardrailDegradedOps = guard->degradedOps();
+        r.guardrailEstimate = guard->estimate();
+        r.degradedIntervals = guard->intervals();
+    }
     if (doppView && doppView->dataCount() > 0) {
         r.tagsPerDataEntry =
             static_cast<double>(doppView->tagCount()) /

@@ -15,6 +15,8 @@
 #include "analysis/similarity.hh"
 #include "core/doppelganger_cache.hh"
 #include "core/split_llc.hh"
+#include "fault/fault_injector.hh"
+#include "fault/qor_guardrail.hh"
 #include "sim/hierarchy.hh"
 #include "workloads/workload.hh"
 
@@ -74,6 +76,12 @@ struct RunConfig
     u64 baselineBytes = 2 * 1024 * 1024;
     u32 llcWays = 16;
     Tick llcLatency = 6;
+
+    /** Fault injection (all rates zero: no injector is attached). */
+    FaultConfig fault;
+
+    /** QoR guardrail (budget zero: no guardrail is attached). */
+    QorConfig qor;
 };
 
 /** Everything measured in one run. */
@@ -97,6 +105,23 @@ struct RunResult
 
     /** End-of-run occupancy: tags per valid data entry. */
     double tagsPerDataEntry = 0.0;
+
+    /** @name Fault-campaign results (zero/empty when not configured) */
+    /// @{
+
+    /** Injector tallies: per-domain injections, detections, repairs. */
+    FaultStats fault;
+
+    /** Full deterministic fault trace, in injection order. */
+    std::vector<FaultEvent> faultTrace;
+
+    u64 guardrailDegradations = 0; ///< times the guardrail tripped
+    u64 guardrailDegradedOps = 0;  ///< observations spent degraded
+    double guardrailEstimate = 0.0; ///< final EWMA error estimate
+
+    /** Degradation intervals in guardrail-observation time. */
+    std::vector<DegradedInterval> degradedIntervals;
+    /// @}
 
     u64 offChipTraffic() const { return memReads + memWrites; }
 };

@@ -1,6 +1,8 @@
 #include "results_io.hh"
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <sstream>
 
 #include "util/logging.hh"
@@ -58,6 +60,27 @@ const Field numericFields[] = {
     {"map_gens", [](const RunResult &r) { return r.llc.mapGens; }},
     {"mem_reads", [](const RunResult &r) { return r.memReads; }},
     {"mem_writes", [](const RunResult &r) { return r.memWrites; }},
+    {"mem_faults",
+     [](const RunResult &r) {
+         return r.fault.injected[static_cast<size_t>(
+             FaultDomain::MemoryData)];
+     }},
+    {"llc_faults_injected",
+     [](const RunResult &r) { return r.llc.faultsInjected; }},
+    {"faults_detected",
+     [](const RunResult &r) { return r.llc.faultsDetected; }},
+    {"faults_repaired",
+     [](const RunResult &r) { return r.llc.faultsRepaired; }},
+    {"repair_tags_dropped",
+     [](const RunResult &r) { return r.llc.repairTagsDropped; }},
+    {"repair_entries_dropped",
+     [](const RunResult &r) { return r.llc.repairEntriesDropped; }},
+    {"degraded_fills",
+     [](const RunResult &r) { return r.llc.degradedFills; }},
+    {"guardrail_degradations",
+     [](const RunResult &r) { return r.guardrailDegradations; }},
+    {"guardrail_degraded_ops",
+     [](const RunResult &r) { return r.guardrailDegradedOps; }},
 };
 
 } // namespace
@@ -70,7 +93,7 @@ runResultCsvHeader()
         out += ',';
         out += f.name;
     }
-    out += ",tags_per_data_entry";
+    out += ",tags_per_data_entry,guardrail_estimate";
     return out;
 }
 
@@ -81,7 +104,8 @@ runResultCsvRow(const RunResult &result)
     out << result.workload << ',' << result.organization;
     for (const auto &f : numericFields)
         out << ',' << f.get(result);
-    out << ',' << result.tagsPerDataEntry;
+    out << ',' << result.tagsPerDataEntry << ','
+        << result.guardrailEstimate;
     return out.str();
 }
 
@@ -107,6 +131,7 @@ runResultJson(const RunResult &result)
     for (const auto &f : numericFields)
         out << ",\"" << f.name << "\":" << f.get(result);
     out << ",\"tags_per_data_entry\":" << result.tagsPerDataEntry
+        << ",\"guardrail_estimate\":" << result.guardrailEstimate
         << '}';
     return out.str();
 }
@@ -125,6 +150,96 @@ writeResultsJson(const std::string &path,
     }
     std::fprintf(f, "]\n");
     std::fclose(f);
+}
+
+double
+LoadedRunRow::value(const std::string &name) const
+{
+    for (const auto &[col, v] : values) {
+        if (col == name)
+            return v;
+    }
+    fatal("results row for %s/%s has no column '%s'",
+          workload.c_str(), organization.c_str(), name.c_str());
+    return 0.0;
+}
+
+namespace
+{
+
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    for (char c : line) {
+        if (c == ',') {
+            cells.push_back(cell);
+            cell.clear();
+        } else if (c != '\r') {
+            cell += c;
+        }
+    }
+    cells.push_back(cell);
+    return cells;
+}
+
+} // namespace
+
+std::vector<LoadedRunRow>
+loadResultsCsv(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("results csv '%s': cannot open for reading",
+              path.c_str());
+
+    std::string line;
+    if (!std::getline(in, line))
+        fatal("results csv '%s': line 1: empty file, expected a "
+              "header row", path.c_str());
+
+    const std::vector<std::string> header = splitCsvLine(line);
+    if (header.size() < 3 || header[0] != "workload" ||
+        header[1] != "organization") {
+        fatal("results csv '%s': line 1: malformed header, expected "
+              "'workload,organization,...' but got '%s'",
+              path.c_str(), line.c_str());
+    }
+
+    std::vector<LoadedRunRow> rows;
+    u64 lineNo = 1;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        const std::vector<std::string> cells = splitCsvLine(line);
+        if (cells.size() != header.size()) {
+            fatal("results csv '%s': line %llu: %zu cells but the "
+                  "header declares %zu columns",
+                  path.c_str(),
+                  static_cast<unsigned long long>(lineNo),
+                  cells.size(), header.size());
+        }
+        LoadedRunRow row;
+        row.workload = cells[0];
+        row.organization = cells[1];
+        for (size_t i = 2; i < cells.size(); ++i) {
+            const char *text = cells[i].c_str();
+            char *end = nullptr;
+            const double v = std::strtod(text, &end);
+            if (end == text || *end != '\0') {
+                fatal("results csv '%s': line %llu: column '%s': "
+                      "'%s' is not a number",
+                      path.c_str(),
+                      static_cast<unsigned long long>(lineNo),
+                      header[i].c_str(), cells[i].c_str());
+            }
+            row.values.emplace_back(header[i], v);
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
 }
 
 } // namespace dopp

@@ -34,6 +34,30 @@ std::string runResultJson(const RunResult &result);
 void writeResultsJson(const std::string &path,
                       const std::vector<RunResult> &results);
 
+/**
+ * One row of a results CSV read back for post-processing (campaign
+ * aggregation, regression checks). Numeric cells are paired with the
+ * header's column names in file order.
+ */
+struct LoadedRunRow
+{
+    std::string workload;
+    std::string organization;
+    std::vector<std::pair<std::string, double>> values;
+
+    /** Value of column @p name. Fatal if the column is absent. */
+    double value(const std::string &name) const;
+};
+
+/**
+ * Load a results CSV written by writeResultsCsv. Hardened against
+ * malformed input: a missing file, an empty file, a header without the
+ * leading workload/organization columns, a row whose cell count
+ * disagrees with the header, or a non-numeric cell are all fatal with
+ * the file name, the 1-based line number and the reason.
+ */
+std::vector<LoadedRunRow> loadResultsCsv(const std::string &path);
+
 } // namespace dopp
 
 #endif // DOPP_HARNESS_RESULTS_IO_HH

@@ -191,13 +191,16 @@ MemorySystem::fetchIntoPrivate(CoreId core, Addr addr, bool for_write)
     const auto result = llcRef.fetch(addr, buf.data());
     lat += result.latency;
 
-    DirEntry &de = dirEntry(addr);
+    // invalidateOthers may erase the directory node, so the entry
+    // reference must be (re-)taken only after it runs.
     if (for_write) {
         BlockData merged;
         if (invalidateOthers(addr, static_cast<int>(core), merged.data()))
             buf = merged;
-        de.owner = static_cast<int>(core);
     }
+    DirEntry &de = dirEntry(addr);
+    if (for_write)
+        de.owner = static_cast<int>(core);
     de.sharers |= static_cast<u8>(1u << core);
 
     fillPrivate(core, addr, buf.data());

@@ -1,11 +1,66 @@
 #include "llc.hh"
 
+#include <algorithm>
+#include <array>
+#include <cmath>
 #include <cstring>
 
 #include "util/logging.hh"
 
 namespace dopp
 {
+
+namespace
+{
+
+#define DOPP_STAT_FIELD(member)                                         \
+    LlcStatField{#member, [](LlcStats &s) -> u64 & { return s.member; }}
+
+constexpr std::array statFieldTable = {
+    DOPP_STAT_FIELD(fetches),
+    DOPP_STAT_FIELD(fetchHits),
+    DOPP_STAT_FIELD(fetchMisses),
+    DOPP_STAT_FIELD(writebacksIn),
+    DOPP_STAT_FIELD(evictions),
+    DOPP_STAT_FIELD(dataEvictions),
+    DOPP_STAT_FIELD(dirtyWritebacks),
+    DOPP_STAT_FIELD(backInvalidations),
+    DOPP_STAT_FIELD(tagArray.reads),
+    DOPP_STAT_FIELD(tagArray.writes),
+    DOPP_STAT_FIELD(mtagArray.reads),
+    DOPP_STAT_FIELD(mtagArray.writes),
+    DOPP_STAT_FIELD(dataArray.reads),
+    DOPP_STAT_FIELD(dataArray.writes),
+    DOPP_STAT_FIELD(mapGens),
+    DOPP_STAT_FIELD(linkedTagsSum),
+    DOPP_STAT_FIELD(linkedTagsSamples),
+    DOPP_STAT_FIELD(faultsInjected),
+    DOPP_STAT_FIELD(faultsDetected),
+    DOPP_STAT_FIELD(faultsRepaired),
+    DOPP_STAT_FIELD(repairTagsDropped),
+    DOPP_STAT_FIELD(repairEntriesDropped),
+    DOPP_STAT_FIELD(degradedFills),
+};
+
+#undef DOPP_STAT_FIELD
+
+// Every counter is a u64 and every counter must be in the table: a new
+// LlcStats field that is not added above changes sizeof(LlcStats) and
+// trips this assert, instead of silently vanishing from aggregated
+// split-LLC statistics.
+static_assert(sizeof(LlcStats) == statFieldTable.size() * sizeof(u64),
+              "LlcStats and llcStatFields() are out of sync — add the "
+              "new counter to statFieldTable in llc.cc");
+
+} // namespace
+
+const std::vector<LlcStatField> &
+llcStatFields()
+{
+    static const std::vector<LlcStatField> fields(statFieldTable.begin(),
+                                                  statFieldTable.end());
+    return fields;
+}
 
 ConventionalLlc::ConventionalLlc(MainMemory &memory, u64 size_bytes,
                                  u32 num_ways, Tick latency,
@@ -48,9 +103,55 @@ ConventionalLlc::evictLine(u32 set, u32 way)
     line.valid = false;
 }
 
+void
+ConventionalLlc::maybeInjectFault()
+{
+    if (!faults)
+        return;
+    faults->step();
+    if (!faults->draw(FaultDomain::LlcData))
+        return;
+
+    // Pick a slot uniformly; an invalid or precise pick means the
+    // flip landed in an unused/reliable cell and is a no-op. Precise
+    // blocks are exempt: only approximate data is stored in the
+    // fault-prone (voltage-scaled) portion of the array.
+    const u64 total =
+        static_cast<u64>(array.sets()) * array.ways();
+    const u64 slot = faults->pick(total);
+    const u32 bit = static_cast<u32>(faults->pick(blockBytes * 8));
+    Line &line = array.at(static_cast<u32>(slot) / array.ways(),
+                          static_cast<u32>(slot) % array.ways());
+    if (!line.valid)
+        return;
+    const Addr addr = slicer.addr(static_cast<u32>(slot) / array.ways(),
+                                  line.tag);
+    const ApproxRegion *region = registry ? registry->find(addr) : nullptr;
+    if (!region)
+        return;
+
+    const unsigned elem = bit / elemBits(region->type);
+    const double before =
+        blockElement(line.data.data(), region->type, elem);
+    line.data[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+    const double after =
+        blockElement(line.data.data(), region->type, elem);
+
+    faults->record(FaultDomain::LlcData, slot, 0, bit);
+    ++llcStats.faultsInjected;
+    if (guardrail) {
+        // The flipped element's own capped error (not the block mean):
+        // its consumer sees the full deviation.
+        const double err = std::min(
+            1.0, std::abs(after - before) / region->span());
+        guardrail->observeError(err);
+    }
+}
+
 LastLevelCache::FetchResult
 ConventionalLlc::fetch(Addr addr, u8 *data)
 {
+    maybeInjectFault();
     ++llcStats.fetches;
     ++llcStats.tagArray.reads;
 
@@ -88,6 +189,7 @@ ConventionalLlc::fetch(Addr addr, u8 *data)
 void
 ConventionalLlc::writeback(Addr addr, const u8 *data)
 {
+    maybeInjectFault();
     ++llcStats.writebacksIn;
     ++llcStats.tagArray.reads;
 

@@ -15,7 +15,10 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
+#include "fault/fault_injector.hh"
+#include "fault/qor_guardrail.hh"
 #include "sim/approx.hh"
 #include "sim/memory.hh"
 #include "sim/set_assoc.hh"
@@ -57,6 +60,16 @@ struct LlcStats
     u64 linkedTagsSum = 0;
     u64 linkedTagsSamples = 0;
 
+    /** @name Fault-injection / QoR-guardrail counters (src/fault) */
+    /// @{
+    u64 faultsInjected = 0;   ///< bit flips applied to this LLC's arrays
+    u64 faultsDetected = 0;   ///< metadata corruptions the self-check caught
+    u64 faultsRepaired = 0;   ///< repair passes that restored invariants
+    u64 repairTagsDropped = 0;    ///< tags invalidated to restore invariants
+    u64 repairEntriesDropped = 0; ///< data entries orphaned and invalidated
+    u64 degradedFills = 0;    ///< approx fills routed precise by the guardrail
+    /// @}
+
     double
     avgLinkedTags() const
     {
@@ -73,6 +86,28 @@ struct LlcStats
             static_cast<double>(fetches) : 0.0;
     }
 };
+
+/**
+ * Name + accessor for one LlcStats counter. The canonical field list
+ * (llcStatFields) is the single place that enumerates the struct, so
+ * field-wise aggregation (split-LLC stats summing) can never silently
+ * miss a counter: a static_assert in llc.cc ties the list length to
+ * sizeof(LlcStats).
+ */
+struct LlcStatField
+{
+    const char *name;
+    u64 &(*ref)(LlcStats &);
+
+    u64
+    value(const LlcStats &s) const
+    {
+        return ref(const_cast<LlcStats &>(s));
+    }
+};
+
+/** Every u64 counter of LlcStats, in declaration order. */
+const std::vector<LlcStatField> &llcStatFields();
 
 /** Snapshot of one logical block resident in the LLC. */
 struct LlcBlockInfo
@@ -138,6 +173,21 @@ class LastLevelCache
         backInvalidate = std::move(fn);
     }
 
+    /**
+     * Attach a fault injector: the LLC will consult it once per
+     * operation and apply any bit flips it decides on to its own
+     * arrays (approximate structures only; see DESIGN.md fault model).
+     * nullptr (the default) disables injection. Not owned.
+     */
+    virtual void setFaultInjector(FaultInjector *fi) { faults = fi; }
+
+    /**
+     * Attach a QoR guardrail: the LLC reports substitution-error
+     * events to it and honors degraded() for approximate fills.
+     * nullptr (the default) disables the guardrail. Not owned.
+     */
+    virtual void setGuardrail(QorGuardrail *g) { guardrail = g; }
+
     /** Accumulated statistics. */
     virtual const LlcStats &stats() const { return llcStats; }
 
@@ -158,6 +208,8 @@ class LastLevelCache
 
     MainMemory &mem;
     LlcStats llcStats;
+    FaultInjector *faults = nullptr;
+    QorGuardrail *guardrail = nullptr;
 
   private:
     BackInvalidateFn backInvalidate;
@@ -207,6 +259,14 @@ class ConventionalLlc : public LastLevelCache
 
     /** Evict the line at (set, way), honoring inclusion and dirtiness. */
     void evictLine(u32 set, u32 way);
+
+    /**
+     * Per-operation fault hook: with an injector attached, possibly
+     * flip one data bit of a resident approximate block (conventional
+     * tag metadata is assumed ECC-protected, so only data-array faults
+     * apply here). Reports the introduced error to the guardrail.
+     */
+    void maybeInjectFault();
 
     SetAssocArray<Line> array;
     AddrSlicer slicer;

@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstring>
+#include <functional>
 #include <unordered_map>
 
 #include "util/types.hh"
@@ -36,7 +37,9 @@ class MainMemory
     readBlock(Addr addr, u8 *data)
     {
         ++demandReads;
-        const BlockData &b = blockAt(blockAlign(addr));
+        BlockData &b = blockAt(blockAlign(addr));
+        if (faultHook)
+            faultHook(blockAlign(addr), b.data());
         std::memcpy(data, b.data(), blockBytes);
     }
 
@@ -86,6 +89,17 @@ class MainMemory
             left -= chunk;
         }
     }
+
+    /**
+     * Optional fault hook, run on every demand read before the data
+     * leaves memory. It receives the *stored* block and may corrupt it
+     * in place, modeling bit flips that accumulate in approximate DRAM
+     * partitions and materialize at the next read. The harness wires
+     * this to a FaultInjector, filtered to annotated regions (precise
+     * data lives in the reliable partition). Functional peek/poke
+     * bypass the hook, so input setup and output collection stay exact.
+     */
+    std::function<void(Addr, u8 *)> faultHook;
 
     /** Access latency charged per demand miss that reaches memory. */
     Tick latency() const { return latencyCycles; }

@@ -48,18 +48,57 @@ TraceWriter::close()
     file = nullptr;
 }
 
-TraceReader::TraceReader(const std::string &path)
+TraceReader::TraceReader(const std::string &path) : path_(path)
 {
+    constexpr u64 headerBytes = sizeof(traceMagic) + sizeof(u64);
+
     file = std::fopen(path.c_str(), "rb");
     if (!file)
-        fatal("cannot open trace '%s'", path.c_str());
+        fatal("trace '%s': cannot open for reading", path.c_str());
+
     char magic[8];
-    if (std::fread(magic, 1, sizeof(magic), file) != sizeof(magic) ||
-        std::memcmp(magic, traceMagic, sizeof(magic)) != 0) {
-        fatal("'%s' is not a doppelganger trace", path.c_str());
+    const size_t got = std::fread(magic, 1, sizeof(magic), file);
+    if (got != sizeof(magic)) {
+        fatal("trace '%s': offset 0: file too short for the 8-byte "
+              "magic (got %zu bytes)", path.c_str(), got);
     }
-    if (std::fread(&total, sizeof(total), 1, file) != 1)
-        fatal("trace '%s' has a truncated header", path.c_str());
+    if (std::memcmp(magic, traceMagic, sizeof(magic)) != 0) {
+        fatal("trace '%s': offset 0: bad magic, not a doppelganger "
+              "trace", path.c_str());
+    }
+    if (std::fread(&total, sizeof(total), 1, file) != 1) {
+        fatal("trace '%s': offset 8: file too short for the record "
+              "count", path.c_str());
+    }
+
+    // The whole file must be exactly header + total records: anything
+    // shorter was truncated mid-write, anything longer carries garbage
+    // (or the header count itself is corrupt). Check up front so a
+    // replay never starts on a trace it cannot finish.
+    if (total > (static_cast<u64>(INT64_MAX) - headerBytes) /
+            sizeof(TraceRecord)) {
+        fatal("trace '%s': offset 8: absurd record count %llu",
+              path.c_str(), static_cast<unsigned long long>(total));
+    }
+    if (std::fseek(file, 0, SEEK_END) != 0)
+        fatal("trace '%s': cannot seek to end", path.c_str());
+    const long actual = std::ftell(file);
+    const u64 expected = headerBytes + total * sizeof(TraceRecord);
+    if (actual < 0 || static_cast<u64>(actual) < expected) {
+        fatal("trace '%s': truncated: %ld bytes, but the header "
+              "promises %llu records (%llu bytes)", path.c_str(),
+              actual, static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(expected));
+    }
+    if (static_cast<u64>(actual) > expected) {
+        fatal("trace '%s': %llu trailing bytes after the %llu "
+              "promised records — count corrupt or file overwritten",
+              path.c_str(),
+              static_cast<unsigned long long>(
+                  static_cast<u64>(actual) - expected),
+              static_cast<unsigned long long>(total));
+    }
+    std::fseek(file, static_cast<long>(headerBytes), SEEK_SET);
 }
 
 TraceReader::~TraceReader()
@@ -73,9 +112,28 @@ TraceReader::next(TraceRecord &record)
 {
     if (consumed >= total)
         return false;
-    if (std::fread(&record, sizeof(record), 1, file) != 1)
-        fatal("trace truncated at record %llu",
+    if (std::fread(&record, sizeof(record), 1, file) != 1) {
+        fatal("trace '%s': read failed at record %llu", path_.c_str(),
               static_cast<unsigned long long>(consumed));
+    }
+    if (record.size < 1 || record.size > 8) {
+        fatal("trace '%s': record %llu (offset %llu): access size %u "
+              "out of range 1..8", path_.c_str(),
+              static_cast<unsigned long long>(consumed),
+              static_cast<unsigned long long>(
+                  sizeof(traceMagic) + sizeof(u64) +
+                  consumed * sizeof(TraceRecord)),
+              static_cast<unsigned>(record.size));
+    }
+    if (record.isWrite > 1) {
+        fatal("trace '%s': record %llu (offset %llu): isWrite flag %u "
+              "is neither 0 nor 1", path_.c_str(),
+              static_cast<unsigned long long>(consumed),
+              static_cast<unsigned long long>(
+                  sizeof(traceMagic) + sizeof(u64) +
+                  consumed * sizeof(TraceRecord)),
+              static_cast<unsigned>(record.isWrite));
+    }
     ++consumed;
     return true;
 }

@@ -66,11 +66,19 @@ class TraceWriter
     u64 records = 0;
 };
 
-/** Streaming reader for .dopptrc files. */
+/**
+ * Streaming reader for .dopptrc files.
+ *
+ * Hardened against malformed input: a missing/short/garbage header, a
+ * file whose size disagrees with the promised record count (truncated
+ * or with trailing bytes) and records with out-of-range fields are all
+ * fatal, with the file name, byte offset / record index and reason in
+ * the message — a corrupt trace can never be half-replayed silently.
+ */
 class TraceReader
 {
   public:
-    /** Open @p path; fatal on a missing file or bad header. */
+    /** Open and validate @p path; fatal on any malformation. */
     explicit TraceReader(const std::string &path);
     ~TraceReader();
 
@@ -80,13 +88,14 @@ class TraceReader
     /** Total records the header promises. */
     u64 count() const { return total; }
 
-    /** Read the next record. @return false at end of trace. */
+    /** Read and validate the next record. @return false at end. */
     bool next(TraceRecord &record);
 
     /** Rewind to the first record. */
     void rewind();
 
   private:
+    std::string path_;
     std::FILE *file = nullptr;
     u64 total = 0;
     u64 consumed = 0;

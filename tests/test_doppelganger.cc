@@ -775,4 +775,55 @@ TEST(DoppTagCountAware, InvariantsUnderChurn)
     EXPECT_TRUE(cache.checkInvariants(&why)) << why;
 }
 
+
+/**
+ * ISSUE acceptance: 10k operations of fetch/writeback/flush churn with
+ * metadata faults injected at aggressive rates. checkInvariants must
+ * hold after every single operation (selfCheckAndRepair runs inside the
+ * injection hook, so any operation that leaves the structure broken
+ * fails immediately), and every detected corruption must be repaired.
+ */
+TEST(DoppFaultStress, TenThousandOpsWithMetadataFaults)
+{
+    MainMemory mem;
+    DoppelgangerCache cache(mem, smallConfig(), nullptr);
+    FaultConfig fc;
+    fc.seed = 0x10c0de;
+    fc.dataRate = 0.02;
+    fc.tagMetaRate = 0.05;
+    fc.mtagMetaRate = 0.05;
+    FaultInjector fi(fc);
+    cache.setFaultInjector(&fi);
+
+    Rng rng(314159);
+    BlockData buf;
+    std::string why;
+    for (int i = 0; i < 10000; ++i) {
+        const Addr a = (rng.below(300) + 1) * blockBytes;
+        switch (rng.below(16)) {
+          case 0:
+            cache.flush();
+            break;
+          case 1:
+          case 2:
+          case 3:
+            cache.writeback(
+                a, makeBlock(static_cast<float>(rng.uniform())).data());
+            break;
+          default:
+            seedBlock(mem, a, static_cast<float>(rng.uniform()));
+            cache.fetch(a, buf.data());
+            break;
+        }
+        ASSERT_TRUE(cache.checkInvariants(&why)) << "op " << i << ": "
+                                                 << why;
+    }
+
+    EXPECT_GT(fi.stats().totalInjected(), 200u);
+    EXPECT_GT(fi.stats().detected, 0u);
+    EXPECT_EQ(fi.stats().detected, fi.stats().repairs);
+    EXPECT_EQ(cache.stats().faultsDetected, fi.stats().detected);
+    EXPECT_EQ(cache.stats().faultsRepaired, fi.stats().repairs);
+}
+
 } // namespace dopp

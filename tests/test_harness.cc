@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -232,6 +235,126 @@ TEST(ResultsIo, WriteJsonFile)
     const std::string all = ss.str();
     EXPECT_EQ(all.front(), '[');
     std::remove(path.c_str());
+}
+
+namespace
+{
+
+/** Write @p text verbatim to a fresh temp file and return its path. */
+std::string
+writeTempCsv(const std::string &text)
+{
+    char buf[] = "/tmp/doppcsv-XXXXXX";
+    const int fd = mkstemp(buf);
+    EXPECT_GE(fd, 0);
+    ::close(fd);
+    std::ofstream out(buf);
+    out << text;
+    return buf;
+}
+
+} // namespace
+
+TEST(ResultsIo, LoadCsvRoundTrips)
+{
+    RunConfig cfg = tinyRun(LlcKind::SplitDopp);
+    cfg.fault.dataRate = 0.01;
+    cfg.fault.tagMetaRate = 0.01;
+    RunResult r = runWorkload("blackscholes", cfg);
+
+    char buf[] = "/tmp/doppcsv-XXXXXX";
+    const int fd = mkstemp(buf);
+    ASSERT_GE(fd, 0);
+    ::close(fd);
+    writeResultsCsv(buf, {r});
+
+    const std::vector<LoadedRunRow> rows = loadResultsCsv(buf);
+    std::remove(buf);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].workload, "blackscholes");
+    EXPECT_EQ(rows[0].organization, r.organization);
+    EXPECT_EQ(rows[0].value("runtime_cycles"),
+              static_cast<double>(r.runtime));
+    EXPECT_EQ(rows[0].value("llc_fetches"),
+              static_cast<double>(r.llc.fetches));
+    EXPECT_EQ(rows[0].value("llc_faults_injected"),
+              static_cast<double>(r.llc.faultsInjected));
+    EXPECT_EQ(rows[0].value("faults_repaired"),
+              static_cast<double>(r.llc.faultsRepaired));
+}
+
+TEST(ResultsIoDeathTest, LoadMissingFileIsFatal)
+{
+    EXPECT_EXIT(loadResultsCsv("/tmp/definitely-not-there.csv"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(ResultsIoDeathTest, LoadEmptyFileIsFatal)
+{
+    const std::string path = writeTempCsv("");
+    EXPECT_EXIT(loadResultsCsv(path), ::testing::ExitedWithCode(1),
+                "line 1: empty file, expected a header row");
+    std::remove(path.c_str());
+}
+
+TEST(ResultsIoDeathTest, LoadForeignHeaderIsFatal)
+{
+    const std::string path =
+        writeTempCsv("alpha,beta,gamma\n1,2,3\n");
+    EXPECT_EXIT(loadResultsCsv(path), ::testing::ExitedWithCode(1),
+                "header");
+    std::remove(path.c_str());
+}
+
+TEST(ResultsIoDeathTest, LoadRowWithMissingCellsIsFatal)
+{
+    const std::string path = writeTempCsv(
+        "workload,organization,runtime_cycles,llc_fetches\n"
+        "kmeans,baseline,123\n");
+    EXPECT_EXIT(loadResultsCsv(path), ::testing::ExitedWithCode(1),
+                "line 2: 3 cells but the header declares 4 columns");
+    std::remove(path.c_str());
+}
+
+TEST(ResultsIoDeathTest, LoadNonNumericCellIsFatal)
+{
+    const std::string path = writeTempCsv(
+        "workload,organization,runtime_cycles\n"
+        "kmeans,baseline,fast\n");
+    EXPECT_EXIT(loadResultsCsv(path), ::testing::ExitedWithCode(1),
+                "column 'runtime_cycles': 'fast' is not a number");
+    std::remove(path.c_str());
+}
+
+TEST(ResultsIoDeathTest, MissingColumnLookupIsFatal)
+{
+    const std::string path = writeTempCsv(
+        "workload,organization,runtime_cycles\n"
+        "kmeans,baseline,123\n");
+    const std::vector<LoadedRunRow> rows = loadResultsCsv(path);
+    std::remove(path.c_str());
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EXIT(rows[0].value("no_such_column"),
+                ::testing::ExitedWithCode(1), "no_such_column");
+}
+
+TEST(Harness, FaultCountersReachRunResult)
+{
+    RunConfig cfg = tinyRun(LlcKind::UniDopp);
+    cfg.fault.dataRate = 0.05;
+    cfg.fault.tagMetaRate = 0.02;
+    cfg.fault.mtagMetaRate = 0.02;
+    cfg.qor.budget = 0.001;
+    cfg.qor.window = 16;
+    cfg.qor.minDwell = 8;
+    const RunResult r = runWorkload("kmeans", cfg);
+
+    EXPECT_GT(r.fault.totalInjected(), 0u);
+    EXPECT_EQ(r.faultTrace.size(), r.fault.totalInjected());
+    EXPECT_EQ(r.llc.faultsDetected, r.fault.detected);
+    EXPECT_EQ(r.llc.faultsRepaired, r.fault.repairs);
+    EXPECT_EQ(r.llc.repairTagsDropped, r.fault.tagsDropped);
+    EXPECT_EQ(r.llc.repairEntriesDropped, r.fault.entriesDropped);
 }
 
 } // namespace dopp

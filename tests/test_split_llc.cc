@@ -176,4 +176,71 @@ TEST_F(SplitLlcTest, NameReported)
     EXPECT_STREQ(llc->name(), "split-doppelganger");
 }
 
+
+TEST_F(SplitLlcTest, AddStatsCoversEveryCounterExactlyOnce)
+{
+    // Regression: addStats used to enumerate fields by hand, so a new
+    // counter could be silently dropped from the split aggregate. The
+    // canonical field table must cover the whole struct (the
+    // static_assert in llc.cc ties its length to sizeof(LlcStats)) and
+    // addStats must add each field exactly once.
+    LlcStats a;
+    LlcStats b;
+    u64 v = 1;
+    for (const LlcStatField &f : llcStatFields()) {
+        f.ref(a) = v;
+        f.ref(b) = 10 * v;
+        ++v;
+    }
+    const LlcStats s = addStats(a, b);
+    v = 1;
+    for (const LlcStatField &f : llcStatFields()) {
+        EXPECT_EQ(f.value(s), 11 * v) << f.name;
+        ++v;
+    }
+}
+
+TEST_F(SplitLlcTest, RepairAndDegradationCountersAggregateOnce)
+{
+    // Fault/guardrail counters live in exactly one half (injection and
+    // repair in the Doppelgänger half, degraded fills in the split's
+    // own stats), so the aggregate equals the sum without double
+    // counting, and reading stats() twice must not change it.
+    FaultConfig fc;
+    fc.dataRate = 0.2;
+    fc.tagMetaRate = 0.2;
+    fc.mtagMetaRate = 0.2;
+    FaultInjector fi(fc);
+    llc->setFaultInjector(&fi);
+    QorConfig qc;
+    qc.budget = 1e-6;
+    qc.window = 4;
+    qc.minDwell = 2;
+    QorGuardrail guard(qc);
+    llc->setGuardrail(&guard);
+
+    for (u64 i = 0; i < 600; ++i) {
+        const Addr a = approxBase + (i % 200) * blockBytes;
+        seedBlock(a, static_cast<float>(i % 7) / 7.0f);
+        llc->fetch(a, buf.data());
+    }
+
+    const LlcStats once = llc->stats();
+    const LlcStats twice = llc->stats();
+    for (const LlcStatField &f : llcStatFields())
+        EXPECT_EQ(f.value(once), f.value(twice)) << f.name;
+
+    EXPECT_GT(once.faultsInjected, 0u);
+    EXPECT_EQ(once.faultsInjected,
+              llc->doppelganger().stats().faultsInjected);
+    EXPECT_EQ(once.faultsDetected,
+              llc->doppelganger().stats().faultsDetected);
+    EXPECT_EQ(once.faultsRepaired,
+              llc->doppelganger().stats().faultsRepaired);
+    EXPECT_EQ(llc->precise().stats().faultsInjected, 0u);
+    EXPECT_EQ(llc->precise().stats().degradedFills, 0u);
+    EXPECT_EQ(llc->doppelganger().stats().degradedFills, 0u);
+}
+
 } // namespace dopp
+

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <string>
 
@@ -307,6 +309,136 @@ TEST(Trace, RecordLayoutIsStable)
     // The on-disk format is a contract: 24-byte records.
     EXPECT_EQ(sizeof(TraceRecord), 24u);
     EXPECT_EQ(std::string(traceMagic, 8), "DOPPTRC1");
+}
+
+namespace
+{
+
+/** Write @p n valid records to @p path. */
+void
+writeValidTrace(const std::string &path, u32 n)
+{
+    TraceWriter w(path);
+    for (u32 i = 0; i < n; ++i) {
+        TraceRecord r;
+        r.addr = 0x1000 + i * blockBytes;
+        w.append(r);
+    }
+}
+
+/** Truncate the file at @p path to @p bytes. */
+void
+truncateFile(const std::string &path, long bytes)
+{
+    ASSERT_EQ(::truncate(path.c_str(), bytes), 0);
+}
+
+} // namespace
+
+TEST(TraceDeathTest, ShortMagicIsFatal)
+{
+    TempTrace tmp;
+    writeValidTrace(tmp.path, 4);
+    truncateFile(tmp.path, 5); // mid-magic
+    EXPECT_EXIT(TraceReader rd(tmp.path),
+                ::testing::ExitedWithCode(1),
+                "offset 0: file too short for the 8-byte magic");
+}
+
+TEST(TraceDeathTest, ShortHeaderCountIsFatal)
+{
+    TempTrace tmp;
+    writeValidTrace(tmp.path, 4);
+    truncateFile(tmp.path, 12); // magic intact, count cut in half
+    EXPECT_EXIT(TraceReader rd(tmp.path),
+                ::testing::ExitedWithCode(1),
+                "offset 8: file too short for the record count");
+}
+
+TEST(TraceDeathTest, TruncatedBodyIsFatal)
+{
+    TempTrace tmp;
+    writeValidTrace(tmp.path, 8);
+    // Cut the last record in half: header promises more than is there.
+    truncateFile(tmp.path, 16 + 8 * 24 - 12);
+    EXPECT_EXIT(TraceReader rd(tmp.path),
+                ::testing::ExitedWithCode(1), "truncated: .*promises");
+}
+
+TEST(TraceDeathTest, TrailingBytesAreFatal)
+{
+    TempTrace tmp;
+    writeValidTrace(tmp.path, 2);
+    std::FILE *f = std::fopen(tmp.path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char junk[7] = {};
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+    EXPECT_EXIT(TraceReader rd(tmp.path),
+                ::testing::ExitedWithCode(1),
+                "7 trailing bytes after the 2 promised records");
+}
+
+TEST(TraceDeathTest, AbsurdRecordCountIsFatal)
+{
+    TempTrace tmp;
+    writeValidTrace(tmp.path, 1);
+    // Overwrite the count with a value whose byte size overflows.
+    std::FILE *f = std::fopen(tmp.path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 8, SEEK_SET);
+    const u64 absurd = ~0ULL;
+    std::fwrite(&absurd, sizeof(absurd), 1, f);
+    std::fclose(f);
+    EXPECT_EXIT(TraceReader rd(tmp.path),
+                ::testing::ExitedWithCode(1),
+                "offset 8: absurd record count");
+}
+
+TEST(TraceDeathTest, OutOfRangeAccessSizeIsFatal)
+{
+    TempTrace tmp;
+    {
+        TraceWriter w(tmp.path);
+        TraceRecord r;
+        w.append(r);
+        w.append(r);
+    }
+    // Corrupt record 1's size field (offset 16 + 24 + 17).
+    std::FILE *f = std::fopen(tmp.path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 16 + 24 + 17, SEEK_SET);
+    const u8 bad = 9;
+    std::fwrite(&bad, 1, 1, f);
+    std::fclose(f);
+
+    TraceReader rd(tmp.path);
+    TraceRecord r;
+    EXPECT_TRUE(rd.next(r)); // record 0 is fine
+    EXPECT_EXIT(rd.next(r), ::testing::ExitedWithCode(1),
+                "record 1 .*: access size 9 out of range 1..8");
+}
+
+TEST(TraceDeathTest, BadIsWriteFlagIsFatal)
+{
+    TempTrace tmp;
+    {
+        TraceWriter w(tmp.path);
+        TraceRecord r;
+        w.append(r);
+    }
+    // Corrupt record 0's isWrite flag (offset 16 + 18).
+    std::FILE *f = std::fopen(tmp.path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 16 + 18, SEEK_SET);
+    const u8 bad = 0xff;
+    std::fwrite(&bad, 1, 1, f);
+    std::fclose(f);
+
+    TraceReader rd(tmp.path);
+    TraceRecord r;
+    EXPECT_EXIT(rd.next(r), ::testing::ExitedWithCode(1),
+                "isWrite flag 255 is neither 0 nor 1");
 }
 
 } // namespace dopp
