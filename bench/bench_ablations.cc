@@ -32,6 +32,22 @@ struct Variant
 void
 runSuite(const std::string &title, const std::vector<Variant> &variants)
 {
+    // Per workload: one baseline run, then one run per variant.
+    const size_t stride = 1 + variants.size();
+    std::vector<RunConfig> configs;
+    for (const auto &name : subset) {
+        RunConfig base = defaultConfig(name);
+        base.kind = LlcKind::Baseline;
+        configs.push_back(std::move(base));
+        for (const auto &v : variants) {
+            RunConfig cfg = defaultConfig(name);
+            cfg.kind = LlcKind::SplitDopp;
+            v.apply(cfg);
+            configs.push_back(std::move(cfg));
+        }
+    }
+    const std::vector<RunResult> results = runBatchWithProgress(configs);
+
     TextTable table;
     {
         std::vector<std::string> head = {"benchmark"};
@@ -42,19 +58,13 @@ runSuite(const std::string &title, const std::vector<Variant> &variants)
         table.header(std::move(head));
     }
 
-    for (const auto &name : subset) {
-        RunConfig base = defaultConfig();
-        base.kind = LlcKind::Baseline;
-        const RunResult baseline = runWithProgress(name, base);
-
-        std::vector<std::string> row = {name};
-        for (const auto &v : variants) {
-            RunConfig cfg = defaultConfig();
-            cfg.kind = LlcKind::SplitDopp;
-            v.apply(cfg);
-            const RunResult r = runWithProgress(name, cfg);
-            row.push_back(pct(
-                workloadOutputError(name, r.output, baseline.output)));
+    for (size_t w = 0; w < subset.size(); ++w) {
+        const RunResult &baseline = results[w * stride];
+        std::vector<std::string> row = {subset[w]};
+        for (size_t i = 0; i < variants.size(); ++i) {
+            const RunResult &r = results[w * stride + 1 + i];
+            row.push_back(pct(workloadOutputError(
+                subset[w], r.output, baseline.output)));
             row.push_back(strfmt(
                 "%.2f", static_cast<double>(r.runtime) /
                             static_cast<double>(baseline.runtime)));
@@ -113,18 +123,26 @@ main()
 
     // Sec 5.2 future work: per-use ranges for swaptions' rates.
     {
-        TextTable table;
-        table.header({"swaptions annotation", "error", "runtime"});
-        RunConfig base = defaultConfig();
+        std::vector<RunConfig> configs;
+        RunConfig base = defaultConfig("swaptions");
         base.kind = LlcKind::Baseline;
-        const RunResult baseline = runWithProgress("swaptions", base);
+        configs.push_back(std::move(base));
         for (const bool perUse : {false, true}) {
-            RunConfig cfg = defaultConfig();
+            RunConfig cfg = defaultConfig("swaptions");
             cfg.kind = LlcKind::SplitDopp;
             cfg.workload.perUseRanges = perUse;
-            const RunResult r = runWithProgress("swaptions", cfg);
-            table.row({perUse ? "per-use ranges (future work)"
-                              : "one range per type (paper)",
+            configs.push_back(std::move(cfg));
+        }
+        const std::vector<RunResult> results =
+            runBatchWithProgress(configs);
+        const RunResult &baseline = results[0];
+
+        TextTable table;
+        table.header({"swaptions annotation", "error", "runtime"});
+        for (size_t i = 0; i < 2; ++i) {
+            const RunResult &r = results[1 + i];
+            table.row({i ? "per-use ranges (future work)"
+                         : "one range per type (paper)",
                        pct(workloadOutputError("swaptions", r.output,
                                                baseline.output)),
                        strfmt("%.3f",

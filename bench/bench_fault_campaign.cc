@@ -19,6 +19,8 @@
  *   DOPP_QOR_BUDGET       guardrail error budget (default 0.002)
  */
 
+#include <array>
+#include <cstdlib>
 #include <sstream>
 
 #include "common.hh"
@@ -55,6 +57,13 @@ campaignWorkloads()
     return names;
 }
 
+/** Batch indices of one workload × organization cell. */
+struct CellIndex
+{
+    size_t rates[3];              ///< the three rate-sweep runs
+    size_t guard = SIZE_MAX;      ///< guardrail run (non-baseline only)
+};
+
 } // namespace
 
 int
@@ -64,8 +73,40 @@ main()
     const double rates[] = {1e-4, 1e-3, 1e-2};
     const LlcKind kinds[] = {LlcKind::Baseline, LlcKind::SplitDopp,
                              LlcKind::UniDopp};
-    const char *qorEnv = std::getenv("DOPP_QOR_BUDGET");
-    const double budget = qorEnv ? std::atof(qorEnv) : 0.002;
+    const double budget = envDouble("DOPP_QOR_BUDGET", 0.002);
+
+    // One batch for the whole campaign: per workload, the precise
+    // reference plus every organization × rate cell.
+    std::vector<RunConfig> configs;
+    std::vector<size_t> preciseIdx(names.size());
+    std::vector<std::array<CellIndex, 3>> cells(names.size());
+    for (size_t w = 0; w < names.size(); ++w) {
+        RunConfig base = defaultConfig(names[w]);
+        base.kind = LlcKind::Baseline;
+        preciseIdx[w] = configs.size();
+        configs.push_back(std::move(base));
+
+        for (size_t k = 0; k < 3; ++k) {
+            for (size_t i = 0; i < 3; ++i) {
+                RunConfig cfg = defaultConfig(names[w]);
+                cfg.kind = kinds[k];
+                cfg.fault = rateConfig(rates[i]);
+                cells[w][k].rates[i] = configs.size();
+                configs.push_back(std::move(cfg));
+            }
+            // Guardrail study at the highest rate (the baseline has no
+            // approximate fill path to degrade, so skip it).
+            if (kinds[k] == LlcKind::Baseline)
+                continue;
+            RunConfig cfg = defaultConfig(names[w]);
+            cfg.kind = kinds[k];
+            cfg.fault = rateConfig(rates[2]);
+            cfg.qor.budget = budget;
+            cells[w][k].guard = configs.size();
+            configs.push_back(std::move(cfg));
+        }
+    }
+    const std::vector<RunResult> results = runBatchWithProgress(configs);
 
     TextTable err;
     err.header({"benchmark", "organization", "err @1e-4", "err @1e-3",
@@ -77,26 +118,23 @@ main()
     guard.header({"benchmark", "organization", "err off", "err on",
                   "budget", "degradations", "degraded fills"});
 
-    for (const auto &name : names) {
-        RunConfig base = defaultConfig();
-        base.kind = LlcKind::Baseline;
-        const RunResult precise = runWithProgress(name, base);
+    for (size_t w = 0; w < names.size(); ++w) {
+        const std::string &name = names[w];
+        const RunResult &precise = results[preciseIdx[w]];
 
-        for (LlcKind kind : kinds) {
-            RunConfig cfg = defaultConfig();
-            cfg.kind = kind;
-
-            std::vector<std::string> erow = {name, llcKindName(kind)};
-            RunResult top; // highest-rate run, for the repair table
-            for (double rate : rates) {
-                cfg.fault = rateConfig(rate);
-                RunResult r = runWithProgress(name, cfg);
+        for (size_t k = 0; k < 3; ++k) {
+            const CellIndex &cell = cells[w][k];
+            std::vector<std::string> erow = {name,
+                                             llcKindName(kinds[k])};
+            for (size_t i = 0; i < 3; ++i) {
+                const RunResult &r = results[cell.rates[i]];
                 erow.push_back(pct(workloadOutputError(
                     name, r.output, precise.output)));
-                top = std::move(r);
             }
             err.row(std::move(erow));
-            rep.row({name, llcKindName(kind),
+
+            const RunResult &top = results[cell.rates[2]];
+            rep.row({name, llcKindName(kinds[k]),
                      strfmt("%llu", static_cast<unsigned long long>(
                                         top.fault.totalInjected())),
                      strfmt("%llu", static_cast<unsigned long long>(
@@ -108,14 +146,10 @@ main()
                      strfmt("%llu", static_cast<unsigned long long>(
                                         top.fault.entriesDropped))});
 
-            // Guardrail study at the highest rate (the baseline has no
-            // approximate fill path to degrade, so skip it).
-            if (kind == LlcKind::Baseline)
+            if (cell.guard == SIZE_MAX)
                 continue;
-            cfg.fault = rateConfig(rates[2]);
-            cfg.qor.budget = budget;
-            const RunResult on = runWithProgress(name, cfg);
-            guard.row({name, llcKindName(kind),
+            const RunResult &on = results[cell.guard];
+            guard.row({name, llcKindName(kinds[k]),
                        pct(workloadOutputError(name, top.output,
                                                precise.output)),
                        pct(workloadOutputError(name, on.output,

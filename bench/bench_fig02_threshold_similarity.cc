@@ -22,6 +22,26 @@ main()
         {"0%", 0.0},     {"0.01%", 0.0001}, {"0.1%", 0.001},
         {"1%", 0.01},    {"10%", 0.10},
     };
+    const auto &names = workloadNames();
+    const size_t cap = snapshotCap();
+
+    std::vector<std::vector<SnapshotAverager>> avg(
+        names.size(), std::vector<SnapshotAverager>(thresholds.size()));
+    std::vector<RunConfig> configs;
+    for (size_t w = 0; w < names.size(); ++w) {
+        RunConfig cfg = defaultConfig(names[w]);
+        cfg.kind = LlcKind::Baseline;
+        cfg.snapshotPeriod = snapshotPeriod();
+        auto *a = &avg[w];
+        cfg.onSnapshot = [a, cap, &thresholds](const Snapshot &snap) {
+            const Snapshot thin = thinSnapshot(snap, cap);
+            for (size_t i = 0; i < thresholds.size(); ++i)
+                (*a)[i].sample(thresholdSavings(thin,
+                                                thresholds[i].second));
+        };
+        configs.push_back(std::move(cfg));
+    }
+    runBatchWithProgress(configs);
 
     TextTable table;
     {
@@ -32,31 +52,18 @@ main()
     }
 
     std::vector<double> sums(thresholds.size(), 0.0);
-    for (const auto &name : workloadNames()) {
-        std::vector<SnapshotAverager> avg(thresholds.size());
-        RunConfig cfg = defaultConfig();
-        cfg.kind = LlcKind::Baseline;
-        cfg.snapshotPeriod = snapshotPeriod();
-        cfg.onSnapshot = [&](const Snapshot &snap) {
-            const Snapshot thin = thinSnapshot(snap, snapshotCap());
-            for (size_t i = 0; i < thresholds.size(); ++i)
-                avg[i].sample(thresholdSavings(thin,
-                                               thresholds[i].second));
-        };
-        runWithProgress(name, cfg);
-
-        std::vector<std::string> row = {name};
+    for (size_t w = 0; w < names.size(); ++w) {
+        std::vector<std::string> row = {names[w]};
         for (size_t i = 0; i < thresholds.size(); ++i) {
-            row.push_back(pct(avg[i].mean()));
-            sums[i] += avg[i].mean();
+            row.push_back(pct(avg[w][i].mean()));
+            sums[i] += avg[w][i].mean();
         }
         table.row(std::move(row));
     }
 
     std::vector<std::string> mean = {"average"};
     for (double s : sums)
-        mean.push_back(pct(s / static_cast<double>(
-            workloadNames().size())));
+        mean.push_back(pct(s / static_cast<double>(names.size())));
     table.row(std::move(mean));
 
     table.print("Fig 2: approx data storage savings vs similarity "

@@ -9,6 +9,8 @@
  * averages: 65.2% (12-bit) and 37.9% (14-bit).
  */
 
+#include <array>
+
 #include "common.hh"
 
 using namespace dopp;
@@ -17,31 +19,40 @@ using namespace dopp::bench;
 int
 main()
 {
-    const unsigned mapBits[] = {12, 13, 14};
+    const std::array<unsigned, 3> mapBits = {12, 13, 14};
+    const auto &names = workloadNames();
+    const size_t cap = snapshotCap();
+
+    // One averager set per workload; each is written only by the one
+    // worker thread executing that workload's config.
+    std::vector<std::array<SnapshotAverager, 3>> avg(names.size());
+    std::vector<RunConfig> configs;
+    for (size_t w = 0; w < names.size(); ++w) {
+        RunConfig cfg = defaultConfig(names[w]);
+        cfg.kind = LlcKind::Baseline;
+        cfg.snapshotPeriod = snapshotPeriod();
+        auto *a = &avg[w];
+        cfg.onSnapshot = [a, cap, mapBits](const Snapshot &snap) {
+            const Snapshot thin = thinSnapshot(snap, cap);
+            for (size_t i = 0; i < mapBits.size(); ++i)
+                (*a)[i].sample(mapSavings(thin, mapBits[i]));
+        };
+        configs.push_back(std::move(cfg));
+    }
+    runBatchWithProgress(configs);
 
     TextTable table;
     table.header({"benchmark", "12-bit map", "13-bit map", "14-bit map"});
 
     double sums[3] = {};
-    for (const auto &name : workloadNames()) {
-        SnapshotAverager avg[3];
-        RunConfig cfg = defaultConfig();
-        cfg.kind = LlcKind::Baseline;
-        cfg.snapshotPeriod = snapshotPeriod();
-        cfg.onSnapshot = [&](const Snapshot &snap) {
-            const Snapshot thin = thinSnapshot(snap, snapshotCap());
-            for (int i = 0; i < 3; ++i)
-                avg[i].sample(mapSavings(thin, mapBits[i]));
-        };
-        runWithProgress(name, cfg);
-
-        table.row({name, pct(avg[0].mean()), pct(avg[1].mean()),
-                   pct(avg[2].mean())});
+    for (size_t w = 0; w < names.size(); ++w) {
+        table.row({names[w], pct(avg[w][0].mean()),
+                   pct(avg[w][1].mean()), pct(avg[w][2].mean())});
         for (int i = 0; i < 3; ++i)
-            sums[i] += avg[i].mean();
+            sums[i] += avg[w][i].mean();
     }
 
-    const double n = static_cast<double>(workloadNames().size());
+    const double n = static_cast<double>(names.size());
     table.row({"average", pct(sums[0] / n), pct(sums[1] / n),
                pct(sums[2] / n)});
     table.print("Fig 7: approx data storage savings vs map space size");

@@ -9,6 +9,8 @@
  * exact dedup 5.3%, 14-bit Dopp 37.9%, Dopp+B∆I 43.9%.
  */
 
+#include <array>
+
 #include "common.hh"
 
 using namespace dopp;
@@ -17,32 +19,41 @@ using namespace dopp::bench;
 int
 main()
 {
+    const auto &names = workloadNames();
+    const size_t cap = snapshotCap();
+
+    std::vector<std::array<SnapshotAverager, 4>> avg(names.size());
+    std::vector<RunConfig> configs;
+    for (size_t w = 0; w < names.size(); ++w) {
+        RunConfig cfg = defaultConfig(names[w]);
+        cfg.kind = LlcKind::Baseline;
+        cfg.snapshotPeriod = snapshotPeriod();
+        auto *a = &avg[w];
+        cfg.onSnapshot = [a, cap](const Snapshot &snap) {
+            const Snapshot thin = thinSnapshot(snap, cap);
+            (*a)[0].sample(bdiSavings(thin));
+            (*a)[1].sample(dedupSavings(thin));
+            (*a)[2].sample(mapSavings(thin, 14));
+            (*a)[3].sample(doppBdiSavings(thin, 14));
+        };
+        configs.push_back(std::move(cfg));
+    }
+    runBatchWithProgress(configs);
+
     TextTable table;
     table.header({"benchmark", "BdI", "exact dedup", "14-bit Dopp",
                   "14-bit Dopp + BdI"});
 
     double sums[4] = {};
-    for (const auto &name : workloadNames()) {
-        SnapshotAverager avg[4];
-        RunConfig cfg = defaultConfig();
-        cfg.kind = LlcKind::Baseline;
-        cfg.snapshotPeriod = snapshotPeriod();
-        cfg.onSnapshot = [&](const Snapshot &snap) {
-            const Snapshot thin = thinSnapshot(snap, snapshotCap());
-            avg[0].sample(bdiSavings(thin));
-            avg[1].sample(dedupSavings(thin));
-            avg[2].sample(mapSavings(thin, 14));
-            avg[3].sample(doppBdiSavings(thin, 14));
-        };
-        runWithProgress(name, cfg);
-
-        table.row({name, pct(avg[0].mean()), pct(avg[1].mean()),
-                   pct(avg[2].mean()), pct(avg[3].mean())});
+    for (size_t w = 0; w < names.size(); ++w) {
+        table.row({names[w], pct(avg[w][0].mean()),
+                   pct(avg[w][1].mean()), pct(avg[w][2].mean()),
+                   pct(avg[w][3].mean())});
         for (int i = 0; i < 4; ++i)
-            sums[i] += avg[i].mean();
+            sums[i] += avg[w][i].mean();
     }
 
-    const double n = static_cast<double>(workloadNames().size());
+    const double n = static_cast<double>(names.size());
     table.row({"average", pct(sums[0] / n), pct(sums[1] / n),
                pct(sums[2] / n), pct(sums[3] / n)});
     table.print("Fig 8: Doppelganger vs BdI compression vs exact "

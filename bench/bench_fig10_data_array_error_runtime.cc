@@ -18,6 +18,23 @@ int
 main()
 {
     const double fractions[] = {0.5, 0.25, 0.125};
+    const auto &names = workloadNames();
+
+    const size_t stride = 1 + 3;
+    std::vector<RunConfig> configs;
+    for (const auto &name : names) {
+        RunConfig base = defaultConfig(name);
+        base.kind = LlcKind::Baseline;
+        configs.push_back(std::move(base));
+        for (double fraction : fractions) {
+            RunConfig cfg = defaultConfig(name);
+            cfg.kind = LlcKind::SplitDopp;
+            cfg.mapBits = 14;
+            cfg.dataFraction = fraction;
+            configs.push_back(std::move(cfg));
+        }
+    }
+    const std::vector<RunResult> results = runBatchWithProgress(configs);
 
     TextTable err;
     err.header({"benchmark", "error @1/2", "error @1/4", "error @1/8"});
@@ -26,32 +43,25 @@ main()
                "runtime @1/8"});
 
     std::vector<double> rtSum(3, 0.0);
-    for (const auto &name : workloadNames()) {
-        RunConfig base = defaultConfig();
-        base.kind = LlcKind::Baseline;
-        const RunResult baseline = runWithProgress(name, base);
-
-        std::vector<std::string> erow = {name};
-        std::vector<std::string> rrow = {name};
-        for (int i = 0; i < 3; ++i) {
-            RunConfig cfg = defaultConfig();
-            cfg.kind = LlcKind::SplitDopp;
-            cfg.mapBits = 14;
-            cfg.dataFraction = fractions[i];
-            const RunResult r = runWithProgress(name, cfg);
-            const double error =
-                workloadOutputError(name, r.output, baseline.output);
+    for (size_t w = 0; w < names.size(); ++w) {
+        const RunResult &baseline = results[w * stride];
+        std::vector<std::string> erow = {names[w]};
+        std::vector<std::string> rrow = {names[w]};
+        for (size_t i = 0; i < 3; ++i) {
+            const RunResult &r = results[w * stride + 1 + i];
+            const double error = workloadOutputError(
+                names[w], r.output, baseline.output);
             const double norm = static_cast<double>(r.runtime) /
                 static_cast<double>(baseline.runtime);
             erow.push_back(pct(error));
             rrow.push_back(strfmt("%.3f", norm));
-            rtSum[static_cast<size_t>(i)] += norm;
+            rtSum[i] += norm;
         }
         err.row(std::move(erow));
         rt.row(std::move(rrow));
     }
 
-    const double n = static_cast<double>(workloadNames().size());
+    const double n = static_cast<double>(names.size());
     rt.row({"average", strfmt("%.3f", rtSum[0] / n),
             strfmt("%.3f", rtSum[1] / n), strfmt("%.3f", rtSum[2] / n)});
 

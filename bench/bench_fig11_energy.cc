@@ -22,6 +22,22 @@ main()
 {
     const double fractions[] = {0.5, 0.25, 0.125};
     const EnergyModel energy;
+    const auto &names = workloadNames();
+
+    const size_t stride = 1 + 3;
+    std::vector<RunConfig> configs;
+    for (const auto &name : names) {
+        RunConfig base = defaultConfig(name);
+        base.kind = LlcKind::Baseline;
+        configs.push_back(std::move(base));
+        for (double fraction : fractions) {
+            RunConfig cfg = defaultConfig(name);
+            cfg.kind = LlcKind::SplitDopp;
+            cfg.dataFraction = fraction;
+            configs.push_back(std::move(cfg));
+        }
+    }
+    const std::vector<RunResult> results = runBatchWithProgress(configs);
 
     TextTable dyn;
     dyn.header({"benchmark", "dynamic @1/2", "dynamic @1/4",
@@ -32,20 +48,15 @@ main()
 
     double dynSum[3] = {};
     double leakSum[3] = {};
-    for (const auto &name : workloadNames()) {
-        RunConfig base = defaultConfig();
-        base.kind = LlcKind::Baseline;
-        const RunResult baseline = runWithProgress(name, base);
+    for (size_t w = 0; w < names.size(); ++w) {
+        const RunResult &baseline = results[w * stride];
         const EnergyResult baseE =
             energy.baseline(baseline.llc, baseline.runtime);
 
-        std::vector<std::string> drow = {name};
-        std::vector<std::string> lrow = {name};
-        for (int i = 0; i < 3; ++i) {
-            RunConfig cfg = defaultConfig();
-            cfg.kind = LlcKind::SplitDopp;
-            cfg.dataFraction = fractions[i];
-            const RunResult r = runWithProgress(name, cfg);
+        std::vector<std::string> drow = {names[w]};
+        std::vector<std::string> lrow = {names[w]};
+        for (size_t i = 0; i < 3; ++i) {
+            const RunResult &r = results[w * stride + 1 + i];
             const EnergyResult e = energy.split(
                 r.preciseHalf, r.doppHalf, r.doppConfig, r.runtime);
             const double dynRed = baseE.dynamicPj / e.dynamicPj;
@@ -59,7 +70,7 @@ main()
         leak.row(std::move(lrow));
     }
 
-    const double n = static_cast<double>(workloadNames().size());
+    const double n = static_cast<double>(names.size());
     dyn.row({"average", times(dynSum[0] / n), times(dynSum[1] / n),
              times(dynSum[2] / n)});
     leak.row({"average", times(leakSum[0] / n), times(leakSum[1] / n),

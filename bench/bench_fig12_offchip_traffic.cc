@@ -16,23 +16,33 @@ int
 main()
 {
     const double fractions[] = {0.5, 0.25, 0.125};
+    const auto &names = workloadNames();
+
+    const size_t stride = 1 + 3;
+    std::vector<RunConfig> configs;
+    for (const auto &name : names) {
+        RunConfig base = defaultConfig(name);
+        base.kind = LlcKind::Baseline;
+        configs.push_back(std::move(base));
+        for (double fraction : fractions) {
+            RunConfig cfg = defaultConfig(name);
+            cfg.kind = LlcKind::SplitDopp;
+            cfg.dataFraction = fraction;
+            configs.push_back(std::move(cfg));
+        }
+    }
+    const std::vector<RunResult> results = runBatchWithProgress(configs);
 
     TextTable table;
     table.header({"benchmark", "traffic @1/2", "traffic @1/4",
                   "traffic @1/8"});
 
     double sums[3] = {};
-    for (const auto &name : workloadNames()) {
-        RunConfig base = defaultConfig();
-        base.kind = LlcKind::Baseline;
-        const RunResult baseline = runWithProgress(name, base);
-
-        std::vector<std::string> row = {name};
-        for (int i = 0; i < 3; ++i) {
-            RunConfig cfg = defaultConfig();
-            cfg.kind = LlcKind::SplitDopp;
-            cfg.dataFraction = fractions[i];
-            const RunResult r = runWithProgress(name, cfg);
+    for (size_t w = 0; w < names.size(); ++w) {
+        const RunResult &baseline = results[w * stride];
+        std::vector<std::string> row = {names[w]};
+        for (size_t i = 0; i < 3; ++i) {
+            const RunResult &r = results[w * stride + 1 + i];
             const double norm =
                 static_cast<double>(r.offChipTraffic()) /
                 static_cast<double>(
@@ -43,7 +53,7 @@ main()
         table.row(std::move(row));
     }
 
-    const double n = static_cast<double>(workloadNames().size());
+    const double n = static_cast<double>(names.size());
     table.row({"average", strfmt("%.3f", sums[0] / n),
                strfmt("%.3f", sums[1] / n), strfmt("%.3f", sums[2] / n)});
     table.print("Fig 12: off-chip memory traffic normalized to "

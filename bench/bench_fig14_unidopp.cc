@@ -20,6 +20,22 @@ main()
 {
     const double fractions[] = {0.75, 0.5, 0.25};
     const EnergyModel energy;
+    const auto &names = workloadNames();
+
+    const size_t stride = 1 + 3;
+    std::vector<RunConfig> configs;
+    for (const auto &name : names) {
+        RunConfig base = defaultConfig(name);
+        base.kind = LlcKind::Baseline;
+        configs.push_back(std::move(base));
+        for (double fraction : fractions) {
+            RunConfig cfg = defaultConfig(name);
+            cfg.kind = LlcKind::UniDopp;
+            cfg.dataFraction = fraction;
+            configs.push_back(std::move(cfg));
+        }
+    }
+    const std::vector<RunResult> results = runBatchWithProgress(configs);
 
     TextTable err;
     err.header({"benchmark", "error @3/4", "error @1/2", "error @1/4"});
@@ -33,25 +49,20 @@ main()
     double rtSum[3] = {};
     double dynSum[3] = {};
     double leakSum[3] = {};
-    for (const auto &name : workloadNames()) {
-        RunConfig base = defaultConfig();
-        base.kind = LlcKind::Baseline;
-        const RunResult baseline = runWithProgress(name, base);
+    for (size_t w = 0; w < names.size(); ++w) {
+        const RunResult &baseline = results[w * stride];
         const EnergyResult baseE =
             energy.baseline(baseline.llc, baseline.runtime);
 
-        std::vector<std::string> erow = {name};
-        std::vector<std::string> rrow = {name};
-        std::vector<std::string> drow = {name};
-        for (int i = 0; i < 3; ++i) {
-            RunConfig cfg = defaultConfig();
-            cfg.kind = LlcKind::UniDopp;
-            cfg.dataFraction = fractions[i];
-            const RunResult r = runWithProgress(name, cfg);
+        std::vector<std::string> erow = {names[w]};
+        std::vector<std::string> rrow = {names[w]};
+        std::vector<std::string> drow = {names[w]};
+        for (size_t i = 0; i < 3; ++i) {
+            const RunResult &r = results[w * stride + 1 + i];
             const EnergyResult e =
                 energy.unified(r.llc, r.doppConfig, r.runtime);
-            const double error =
-                workloadOutputError(name, r.output, baseline.output);
+            const double error = workloadOutputError(
+                names[w], r.output, baseline.output);
             const double norm = static_cast<double>(r.runtime) /
                 static_cast<double>(baseline.runtime);
             erow.push_back(pct(error));
@@ -66,7 +77,7 @@ main()
         dyn.row(std::move(drow));
     }
 
-    const double n = static_cast<double>(workloadNames().size());
+    const double n = static_cast<double>(names.size());
     rt.row({"average", strfmt("%.3f", rtSum[0] / n),
             strfmt("%.3f", rtSum[1] / n), strfmt("%.3f", rtSum[2] / n)});
     dyn.row({"average", times(dynSum[0] / n), times(dynSum[1] / n),

@@ -16,6 +16,15 @@ using namespace dopp::bench;
 int
 main()
 {
+    const auto &names = workloadNames();
+    std::vector<RunConfig> configs;
+    for (const auto &name : names) {
+        RunConfig cfg = defaultConfig(name);
+        cfg.kind = LlcKind::SplitDopp; // base config: 14-bit, 1/4
+        configs.push_back(std::move(cfg));
+    }
+    const std::vector<RunResult> results = runBatchWithProgress(configs);
+
     TextTable table;
     table.header({"benchmark", "tags per data entry (resident)",
                   "tags per evicted entry", "dirty evictions"});
@@ -23,21 +32,14 @@ main()
     double occSum = 0.0;
     double dirtySum = 0.0;
     u64 dirtyWorkloads = 0;
-    for (const auto &name : workloadNames()) {
-        RunConfig cfg = defaultConfig();
-        cfg.kind = LlcKind::SplitDopp; // base config: 14-bit, 1/4
-        const RunResult r = runWithProgress(name, cfg);
-
-        const u64 evictions =
-            r.doppHalf.evictions + r.doppHalf.backInvalidations;
-        const double dirtyFrac = evictions
+    for (size_t w = 0; w < names.size(); ++w) {
+        const RunResult &r = results[w];
+        const double dirtyFrac = r.doppHalf.evictions
             ? static_cast<double>(r.doppHalf.dirtyWritebacks) /
-                static_cast<double>(r.doppHalf.evictions
-                                        ? r.doppHalf.evictions
-                                        : 1)
+                static_cast<double>(r.doppHalf.evictions)
             : 0.0;
 
-        table.row({name,
+        table.row({names[w],
                    strfmt("%.2f", r.tagsPerDataEntry),
                    r.doppHalf.linkedTagsSamples
                        ? strfmt("%.2f", r.doppHalf.avgLinkedTags())
@@ -52,7 +54,7 @@ main()
 
     table.row({"average",
                strfmt("%.2f", occSum / static_cast<double>(
-                                  workloadNames().size())),
+                                  names.size())),
                "-",
                dirtyWorkloads
                    ? pct(dirtySum / static_cast<double>(dirtyWorkloads))

@@ -23,21 +23,26 @@ main()
         {"swaptions", 0.015},
     };
 
+    std::vector<SnapshotAverager> avg(paper.size());
+    std::vector<RunConfig> configs;
+    for (size_t w = 0; w < paper.size(); ++w) {
+        RunConfig cfg = defaultConfig(paper[w].first);
+        cfg.kind = LlcKind::Baseline;
+        cfg.snapshotPeriod = snapshotPeriod();
+        auto *a = &avg[w];
+        cfg.onSnapshot = [a](const Snapshot &snap) {
+            a->sample(approxFraction(snap));
+        };
+        configs.push_back(std::move(cfg));
+    }
+    runBatchWithProgress(configs);
+
     TextTable table;
     table.header({"benchmark", "approx LLC blocks (measured)",
                   "paper (Table 2)"});
-
-    for (const auto &[name, paperVal] : paper) {
-        SnapshotAverager avg;
-        RunConfig cfg = defaultConfig();
-        cfg.kind = LlcKind::Baseline;
-        cfg.snapshotPeriod = snapshotPeriod();
-        cfg.onSnapshot = [&](const Snapshot &snap) {
-            avg.sample(approxFraction(snap));
-        };
-        runWithProgress(name, cfg);
-        table.row({name, pct(avg.mean()), pct(paperVal)});
-    }
+    for (size_t w = 0; w < paper.size(); ++w)
+        table.row({paper[w].first, pct(avg[w].mean()),
+                   pct(paper[w].second)});
 
     table.print("Table 2: approximate fraction of LLC blocks");
     return 0;

@@ -1,9 +1,11 @@
 /**
  * @file
  * Shared plumbing for the per-figure bench binaries: environment-tuned
- * workload scale, snapshot cadence, and run-with-progress helpers.
+ * workload scale, snapshot cadence, and the batch-runner front end all
+ * sweeps go through.
  *
- * Environment knobs:
+ * Environment knobs (all strictly parsed; garbage values are fatal):
+ *   DOPP_JOBS             concurrent runs (default: hardware threads)
  *   DOPP_WORKLOAD_SCALE   input-size multiplier (default 1.0)
  *   DOPP_SNAPSHOT_PERIOD  accesses between LLC snapshots (default 400k)
  *   DOPP_SNAPSHOT_CAP     max blocks analysed per snapshot (default 6k)
@@ -13,25 +15,24 @@
 #define DOPP_BENCH_COMMON_HH
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "analysis/similarity.hh"
+#include "harness/batch_runner.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "util/env.hh"
+#include "util/logging.hh"
 
 namespace dopp::bench
 {
 
+/** Strict env read: unset gives @p fallback, garbage is fatal. */
 inline u64
 envU64(const char *name, u64 fallback)
 {
-    const char *v = std::getenv(name);
-    if (!v)
-        return fallback;
-    const long long parsed = std::atoll(v);
-    return parsed > 0 ? static_cast<u64>(parsed) : fallback;
+    return ::dopp::envU64(name, fallback);
 }
 
 inline u64
@@ -62,23 +63,40 @@ thinSnapshot(const Snapshot &snap, size_t cap)
     return out;
 }
 
-/** Default run configuration at the environment's workload scale. */
+/** Run configuration for @p workload at the environment's scale. */
 inline RunConfig
-defaultConfig()
+defaultConfig(const std::string &workload)
 {
     RunConfig cfg;
+    cfg.workloadName = workload;
     cfg.workload.scale = workloadScaleFromEnv();
     return cfg;
 }
 
-/** Run @p name under @p cfg with a progress line on stderr. */
-inline RunResult
-runWithProgress(const std::string &name, const RunConfig &cfg)
+/**
+ * Run @p configs through the batch runner (DOPP_JOBS-way parallel)
+ * with a live progress line per finished run, and return the results
+ * in submission order. Any failed run is fatal: bench sweeps have no
+ * use for partial figures.
+ */
+inline std::vector<RunResult>
+runBatchWithProgress(const std::vector<RunConfig> &configs)
 {
-    std::fprintf(stderr, "[bench] %s on %s (M=%u, data=%g)...\n",
-                 name.c_str(), llcKindName(cfg.kind), cfg.mapBits,
-                 cfg.dataFraction);
-    return runWorkload(name, cfg);
+    BatchOptions opt;
+    opt.onProgress = [](const BatchProgress &p) {
+        std::fprintf(stderr, "[bench] %zu/%zu %s on %s%s\n",
+                     p.completed, p.total, p.result.workload.c_str(),
+                     p.result.organization.c_str(),
+                     p.result.failed ? " FAILED" : "");
+    };
+    std::vector<RunResult> results = runBatch(configs, opt);
+    for (const RunResult &r : results) {
+        if (r.failed) {
+            fatal("batch run %s on %s failed: %s", r.workload.c_str(),
+                  r.organization.c_str(), r.error.c_str());
+        }
+    }
+    return results;
 }
 
 } // namespace dopp::bench

@@ -21,4 +21,10 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
+
+# Re-run the batch-runner suite with a 4-wide pool so the threaded
+# work-queue path (not just the jobs=1 serial path) is exercised under
+# the sanitizers regardless of the host's core count.
+DOPP_JOBS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -j "$(nproc)" -R 'BatchRunner' "$@"
 echo "sanitize_check: all tests passed under ASan+UBSan"

@@ -1,0 +1,122 @@
+#include "batch_runner.hh"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/env.hh"
+#include "util/logging.hh"
+
+namespace dopp
+{
+
+unsigned
+batchJobs(unsigned jobs)
+{
+    if (jobs)
+        return jobs;
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    return static_cast<unsigned>(envU64("DOPP_JOBS", hw));
+}
+
+namespace
+{
+
+/** Shared state of one runBatch call; workers claim indices from the
+ * atomic cursor, so the queue needs no locking of its own. */
+struct BatchState
+{
+    const std::vector<RunConfig> &configs;
+    const BatchOptions &opt;
+    std::vector<RunResult> &results;
+
+    std::atomic<size_t> next{0};
+    std::mutex progressMutex;
+    size_t completed = 0; // guarded by progressMutex
+
+    explicit BatchState(const std::vector<RunConfig> &c,
+                        const BatchOptions &o, std::vector<RunResult> &r)
+        : configs(c), opt(o), results(r)
+    {}
+};
+
+/** Mark @p r failed without losing its identifying fields. */
+void
+markFailed(RunResult &r, const RunConfig &cfg, const std::string &why)
+{
+    r.workload = cfg.workloadName;
+    r.organization = llcKindName(cfg.kind);
+    r.failed = true;
+    r.error = why;
+}
+
+void
+runOne(BatchState &st, size_t index)
+{
+    const RunConfig &cfg = st.configs[index];
+    RunResult &r = st.results[index];
+    if (st.opt.cancel && st.opt.cancel->load(std::memory_order_acquire)) {
+        markFailed(r, cfg, "cancelled");
+    } else if (cfg.workloadName.empty()) {
+        markFailed(r, cfg, "config has no workloadName");
+    } else {
+        try {
+            r = runWorkload(cfg.workloadName, cfg);
+        } catch (const std::exception &e) {
+            markFailed(r, cfg, e.what());
+        } catch (...) {
+            markFailed(r, cfg, "unknown exception");
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(st.progressMutex);
+    ++st.completed;
+    if (st.opt.onProgress) {
+        BatchProgress p{index, st.completed, st.configs.size(), r};
+        st.opt.onProgress(p);
+    }
+}
+
+void
+workerLoop(BatchState &st)
+{
+    const size_t total = st.configs.size();
+    for (;;) {
+        const size_t index =
+            st.next.fetch_add(1, std::memory_order_relaxed);
+        if (index >= total)
+            return;
+        runOne(st, index);
+    }
+}
+
+} // namespace
+
+std::vector<RunResult>
+runBatch(const std::vector<RunConfig> &configs,
+         const BatchOptions &options)
+{
+    std::vector<RunResult> results(configs.size());
+    if (configs.empty())
+        return results;
+
+    BatchState st(configs, options, results);
+    const unsigned jobs = std::min<unsigned>(
+        batchJobs(options.jobs),
+        static_cast<unsigned>(configs.size()));
+
+    if (jobs <= 1) {
+        workerLoop(st); // serial path: the caller's own thread
+        return results;
+    }
+
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned i = 0; i < jobs; ++i)
+        pool.emplace_back([&st]() { workerLoop(st); });
+    for (auto &t : pool)
+        t.join();
+    return results;
+}
+
+} // namespace dopp

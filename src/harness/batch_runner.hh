@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Parallel batch experiment runner: a fixed-size thread pool draining a
+ * work queue of independent RunConfigs.
+ *
+ * Determinism contract (see DESIGN.md §9): every run is a pure function
+ * of its own RunConfig — workload inputs are seeded from
+ * cfg.workload.seed, the fault trace from cfg.fault.seed, and
+ * runWorkload reads no environment or global mutable state — so the
+ * per-config RunResults of a batch are bit-identical for any job count
+ * (including the serial jobs=1 path) and any submission order.
+ *
+ * Robustness: a run that throws is reported as a failed RunResult
+ * (failed=true, error=what()) without disturbing the pool or the other
+ * runs; fatal()/panic() remain process-fatal by design (configuration
+ * errors and simulator bugs should kill a sweep loudly). Cancellation
+ * is cooperative: runs already executing finish, queued runs are
+ * marked failed with error "cancelled".
+ */
+
+#ifndef DOPP_HARNESS_BATCH_RUNNER_HH
+#define DOPP_HARNESS_BATCH_RUNNER_HH
+
+#include <atomic>
+#include <functional>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace dopp
+{
+
+/** Progress report for one finished (or cancelled) run. */
+struct BatchProgress
+{
+    size_t index;     ///< submission index of the run
+    size_t completed; ///< runs finished so far, this one included
+    size_t total;     ///< batch size
+    const RunResult &result;
+};
+
+/** Batch execution options. */
+struct BatchOptions
+{
+    /**
+     * Worker threads. 0: DOPP_JOBS from the environment, defaulting to
+     * the hardware concurrency. 1: run serially on the calling thread
+     * (no pool), the exact code path of a hand-rolled loop.
+     */
+    unsigned jobs = 0;
+
+    /**
+     * Called once per run as it finishes, from whichever thread ran
+     * it, serialized by an internal mutex (never concurrently with
+     * itself). Must not throw.
+     */
+    std::function<void(const BatchProgress &)> onProgress;
+
+    /**
+     * Optional cooperative cancellation flag. Checked before each run
+     * starts; once set, remaining queued runs are marked failed with
+     * error "cancelled" and runBatch returns as soon as in-flight runs
+     * finish.
+     */
+    const std::atomic<bool> *cancel = nullptr;
+};
+
+/** Resolve an effective job count: @p jobs, or DOPP_JOBS, or all
+ * hardware threads. Always at least 1; fatal on a garbage DOPP_JOBS. */
+unsigned batchJobs(unsigned jobs = 0);
+
+/**
+ * Run every config in @p configs (each names its benchmark via
+ * RunConfig::workloadName) and return the RunResults in submission
+ * order. See the determinism contract above.
+ */
+std::vector<RunResult> runBatch(const std::vector<RunConfig> &configs,
+                                const BatchOptions &options = {});
+
+} // namespace dopp
+
+#endif // DOPP_HARNESS_BATCH_RUNNER_HH

@@ -10,6 +10,7 @@
 #include "sim/llc.hh"
 #include "sim/trace.hh"
 #include "sim/memory.hh"
+#include "util/env.hh"
 #include "util/logging.hh"
 
 namespace dopp
@@ -71,11 +72,15 @@ uniDoppConfig(const RunConfig &cfg)
 double
 workloadScaleFromEnv()
 {
-    const char *env = std::getenv("DOPP_WORKLOAD_SCALE");
-    if (!env)
-        return 1.0;
-    const double v = std::atof(env);
-    return v > 0.0 ? v : 1.0;
+    return envDouble("DOPP_WORKLOAD_SCALE", 1.0);
+}
+
+RunResult
+runWorkload(const RunConfig &cfg)
+{
+    if (cfg.workloadName.empty())
+        fatal("runWorkload(cfg): config has no workloadName");
+    return runWorkload(cfg.workloadName, cfg);
 }
 
 RunResult

@@ -39,6 +39,10 @@ const char *llcKindName(LlcKind kind);
 /** One run's configuration. */
 struct RunConfig
 {
+    /** Benchmark to run. runWorkload's name argument overrides it; the
+     * batch runner (harness/batch_runner.hh) requires it. */
+    std::string workloadName;
+
     LlcKind kind = LlcKind::Baseline;
 
     /** Doppelgänger map-space size M (Table 1 default 14). */
@@ -90,6 +94,11 @@ struct RunResult
     std::string workload;
     std::string organization;
 
+    /** Set by the batch runner when the run threw or was cancelled
+     * instead of completing; every other field is then meaningless. */
+    bool failed = false;
+    std::string error;
+
     Tick runtime = 0;               ///< slowest core's cycles
     std::vector<double> output;     ///< application final output
 
@@ -139,7 +148,12 @@ DoppConfig uniDoppConfig(const RunConfig &cfg);
 RunResult runWorkload(const std::string &workload_name,
                       const RunConfig &cfg);
 
-/** Read DOPP_WORKLOAD_SCALE (default 1.0) for bench sizing. */
+/** As above, naming the benchmark via cfg.workloadName (fatal if
+ * empty). */
+RunResult runWorkload(const RunConfig &cfg);
+
+/** Read DOPP_WORKLOAD_SCALE (default 1.0) for bench sizing; fatal on
+ * a non-positive or non-numeric value. */
 double workloadScaleFromEnv();
 
 } // namespace dopp

@@ -1,0 +1,44 @@
+#include "env.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "logging.hh"
+
+namespace dopp
+{
+
+u64
+envU64(const char *name, u64 fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return fallback;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v || *end != '\0' || errno == ERANGE || v[0] == '-' ||
+        parsed == 0) {
+        fatal("%s='%s' is not a positive integer", name, v);
+    }
+    return static_cast<u64>(parsed);
+}
+
+double
+envDouble(const char *name, double fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return fallback;
+    errno = 0;
+    char *end = nullptr;
+    const double parsed = std::strtod(v, &end);
+    if (end == v || *end != '\0' || errno == ERANGE ||
+        !std::isfinite(parsed) || parsed <= 0.0) {
+        fatal("%s='%s' is not a positive number", name, v);
+    }
+    return parsed;
+}
+
+} // namespace dopp

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Strict environment-variable parsing for tuning knobs.
+ *
+ * An unset variable yields the fallback; a set variable must parse
+ * completely as a positive value of the requested type, otherwise the
+ * run dies with a fatal error naming the variable. Silently mapping
+ * garbage (DOPP_JOBS=abc) or out-of-range values to the fallback hides
+ * misconfigured sweeps, so we refuse instead.
+ */
+
+#ifndef DOPP_UTIL_ENV_HH
+#define DOPP_UTIL_ENV_HH
+
+#include "types.hh"
+
+namespace dopp
+{
+
+/**
+ * Read @p name as a positive integer. Unset: @p fallback. Set but not
+ * a whole positive decimal number (garbage, negative, zero, trailing
+ * junk, overflow): fatal, naming the variable and the bad value.
+ */
+u64 envU64(const char *name, u64 fallback);
+
+/**
+ * Read @p name as a positive double. Unset: @p fallback. Set but not
+ * a finite number > 0: fatal, naming the variable and the bad value.
+ */
+double envDouble(const char *name, double fallback);
+
+} // namespace dopp
+
+#endif // DOPP_UTIL_ENV_HH

@@ -1,5 +1,6 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -9,7 +10,9 @@ namespace dopp
 namespace
 {
 
-bool verboseFlag = true;
+// Atomic so batch-runner worker threads can consult it while the main
+// thread configures verbosity.
+std::atomic<bool> verboseFlag{true};
 
 void
 vreport(const char *prefix, const char *fmt, va_list ap)

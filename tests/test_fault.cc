@@ -206,6 +206,69 @@ TEST(QorGuardrail, DisabledNeverDegrades)
     EXPECT_EQ(g.degradedOps(), 0u);
 }
 
+TEST(QorGuardrail, ReenableEdgeIsExclusive)
+{
+    // Re-enable requires the estimate strictly *below* the hysteresis
+    // threshold; decaying to exactly the threshold must keep the
+    // guardrail degraded. Power-of-two budget/samples keep the window=1
+    // EWMA updates exact, so the edge is hit bit-precisely.
+    QorConfig qc;
+    qc.budget = 0.25;
+    qc.reenableFraction = 0.5; // threshold: exactly 0.125
+    qc.window = 1;             // estimate == last sample
+    qc.minDwell = 1;
+    QorGuardrail g(qc);
+
+    g.observeError(1.0);
+    ASSERT_TRUE(g.degraded());
+    ASSERT_EQ(g.degradationCount(), 1u);
+
+    g.observeError(0.125); // exactly budget × reenableFraction
+    EXPECT_EQ(g.estimate(), 0.125);
+    EXPECT_TRUE(g.degraded()) << "re-enabled at the threshold itself";
+
+    g.observeError(0.0625); // strictly below: now it lifts
+    EXPECT_FALSE(g.degraded());
+    const auto ivs = g.intervals();
+    ASSERT_EQ(ivs.size(), 1u);
+    EXPECT_EQ(ivs[0].beginOp, 1u);
+    EXPECT_EQ(ivs[0].endOp, 3u);
+}
+
+TEST(QorGuardrail, BudgetZeroIsInertEwma)
+{
+    // budget == 0 disables the guardrail entirely: the EWMA must not
+    // accumulate, and no intervals may ever open.
+    QorConfig qc;
+    qc.budget = 0.0;
+    qc.window = 4;
+    QorGuardrail g(qc);
+    for (int i = 0; i < 256; ++i)
+        g.observeError(0.7);
+    EXPECT_EQ(g.estimate(), 0.0);
+    EXPECT_EQ(g.observations(), 0u);
+    EXPECT_FALSE(g.degraded());
+    EXPECT_TRUE(g.intervals().empty());
+    EXPECT_EQ(g.degradationCount(), 0u);
+}
+
+TEST(QorGuardrail, ZeroWindowActsAsLastSample)
+{
+    // window == 0 must not divide by zero; it clamps to alpha = 1, so
+    // the estimate tracks the most recent observation exactly.
+    QorConfig qc;
+    qc.budget = 0.1;
+    qc.window = 0;
+    qc.minDwell = 1;
+    QorGuardrail g(qc);
+    g.observeError(0.75);
+    EXPECT_EQ(g.estimate(), 0.75);
+    EXPECT_TRUE(g.degraded());
+    g.observeClean();
+    EXPECT_EQ(g.estimate(), 0.0);
+    EXPECT_FALSE(g.degraded());
+}
+
 TEST(BlockSubstitutionError, IdenticalBlocksAreClean)
 {
     const BlockData a = makeBlock(0.7f);

@@ -9,7 +9,10 @@
 #include <cmath>
 #include <set>
 
+#include <cstdlib>
+
 #include "util/bitfield.hh"
+#include "util/env.hh"
 #include "util/random.hh"
 #include "util/stats.hh"
 #include "util/types.hh"
@@ -241,6 +244,88 @@ TEST(Stats, Amean)
 {
     EXPECT_DOUBLE_EQ(amean({}), 0.0);
     EXPECT_DOUBLE_EQ(amean({1.0, 2.0, 3.0}), 2.0);
+}
+
+// ---------------------------------------------------------------------
+// Strict environment parsing (util/env.hh).
+// ---------------------------------------------------------------------
+
+TEST(Env, UnsetGivesFallback)
+{
+    unsetenv("DOPP_TEST_KNOB");
+    EXPECT_EQ(envU64("DOPP_TEST_KNOB", 42), 42u);
+    EXPECT_DOUBLE_EQ(envDouble("DOPP_TEST_KNOB", 1.5), 1.5);
+}
+
+TEST(Env, ValidValuesParse)
+{
+    setenv("DOPP_TEST_KNOB", "123", 1);
+    EXPECT_EQ(envU64("DOPP_TEST_KNOB", 42), 123u);
+    setenv("DOPP_TEST_KNOB", "0.25", 1);
+    EXPECT_DOUBLE_EQ(envDouble("DOPP_TEST_KNOB", 1.0), 0.25);
+    unsetenv("DOPP_TEST_KNOB");
+}
+
+TEST(EnvDeathTest, GarbageU64IsFatalAndNamesTheVariable)
+{
+    EXPECT_EXIT(
+        {
+            setenv("DOPP_TEST_KNOB", "abc", 1);
+            envU64("DOPP_TEST_KNOB", 1);
+        },
+        ::testing::ExitedWithCode(1),
+        "DOPP_TEST_KNOB='abc' is not a positive integer");
+}
+
+TEST(EnvDeathTest, NegativeZeroAndTrailingJunkU64AreFatal)
+{
+    EXPECT_EXIT(
+        {
+            setenv("DOPP_TEST_KNOB", "-7", 1);
+            envU64("DOPP_TEST_KNOB", 1);
+        },
+        ::testing::ExitedWithCode(1), "not a positive integer");
+    EXPECT_EXIT(
+        {
+            setenv("DOPP_TEST_KNOB", "0", 1);
+            envU64("DOPP_TEST_KNOB", 1);
+        },
+        ::testing::ExitedWithCode(1), "not a positive integer");
+    EXPECT_EXIT(
+        {
+            setenv("DOPP_TEST_KNOB", "12x", 1);
+            envU64("DOPP_TEST_KNOB", 1);
+        },
+        ::testing::ExitedWithCode(1), "not a positive integer");
+    EXPECT_EXIT(
+        {
+            setenv("DOPP_TEST_KNOB", "", 1);
+            envU64("DOPP_TEST_KNOB", 1);
+        },
+        ::testing::ExitedWithCode(1), "not a positive integer");
+}
+
+TEST(EnvDeathTest, GarbageDoubleIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            setenv("DOPP_TEST_KNOB", "fast", 1);
+            envDouble("DOPP_TEST_KNOB", 1.0);
+        },
+        ::testing::ExitedWithCode(1),
+        "DOPP_TEST_KNOB='fast' is not a positive number");
+    EXPECT_EXIT(
+        {
+            setenv("DOPP_TEST_KNOB", "-0.5", 1);
+            envDouble("DOPP_TEST_KNOB", 1.0);
+        },
+        ::testing::ExitedWithCode(1), "not a positive number");
+    EXPECT_EXIT(
+        {
+            setenv("DOPP_TEST_KNOB", "nan", 1);
+            envDouble("DOPP_TEST_KNOB", 1.0);
+        },
+        ::testing::ExitedWithCode(1), "not a positive number");
 }
 
 } // namespace dopp
