@@ -50,15 +50,16 @@ main()
     double leakSum[3] = {};
     for (size_t w = 0; w < names.size(); ++w) {
         const RunResult &baseline = results[w * stride];
-        const EnergyResult baseE =
-            energy.baseline(baseline.llc, baseline.runtime);
+        // Access counts come from the run's registry snapshot by
+        // structure name; the same counters the CSV/JSON exports see.
+        const EnergyResult baseE = energy.baseline(baseline.stats, "llc");
 
         std::vector<std::string> drow = {names[w]};
         std::vector<std::string> lrow = {names[w]};
         for (size_t i = 0; i < 3; ++i) {
             const RunResult &r = results[w * stride + 1 + i];
             const EnergyResult e = energy.split(
-                r.preciseHalf, r.doppHalf, r.doppConfig, r.runtime);
+                r.stats, "llc.precise", "llc.dopp", r.doppConfig);
             const double dynRed = baseE.dynamicPj / e.dynamicPj;
             const double leakRed = baseE.leakagePj / e.leakagePj;
             drow.push_back(times(dynRed));

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# One-shot CI gate: configure, build and run the tier-1 test suite.
+# This is the acceptance command for every change; the sanitizer sweep
+# (scripts/sanitize_check.sh) layers on top of it for pre-merge checks.
+#
+#   scripts/ci.sh [build-dir] [ctest-args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+shift || true
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
+echo "ci: configure + build + tier-1 tests passed"

@@ -27,4 +27,13 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
 # the sanitizers regardless of the host's core count.
 DOPP_JOBS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
     -j "$(nproc)" -R 'BatchRunner' "$@"
+
+# Re-run the StatRegistry/observability suite explicitly: it exercises
+# the counterFn/formula closures (which capture raw structure pointers)
+# and the snapshot export paths end-to-end, exactly where a lifetime
+# bug would hide.
+DOPP_JOBS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -j "$(nproc)" \
+    -R 'StatRegistry|StatSnapshot|LlcCounters|LlcFactory|SchemaDrift|StatsJsonl' \
+    "$@"
 echo "sanitize_check: all tests passed under ASan+UBSan"

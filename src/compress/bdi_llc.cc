@@ -8,8 +8,11 @@ namespace dopp
 {
 
 BdiLlc::BdiLlc(MainMemory &memory, const BdiLlcConfig &config,
-               const ApproxRegistry *registry)
-    : LastLevelCache(memory), cfg(config), registry(registry),
+               const ApproxRegistry *registry,
+               StatRegistry *stat_registry,
+               const std::string &stat_group)
+    : LastLevelCache(memory, stat_registry, stat_group), cfg(config),
+      registry(registry),
       sets(config.sizeBytes / blockBytes / config.ways),
       slicer(static_cast<u32>(config.sizeBytes / blockBytes /
                               config.ways))
@@ -19,6 +22,7 @@ BdiLlc::BdiLlc(MainMemory &memory, const BdiLlcConfig &config,
     for (auto &set : sets)
         set.entries.resize(static_cast<size_t>(cfg.ways) *
                            cfg.tagFactor);
+    initLlcCounters();
 }
 
 BdiLlc::Entry *
@@ -49,16 +53,16 @@ BdiLlc::evictLru(Set &set, u32 set_idx)
     DOPP_ASSERT(victim);
 
     const Addr addr = slicer.addr(set_idx, victim->tag);
-    ++llcStats.evictions;
+    ++ctr->evictions;
     BlockData upward;
     const bool upwardDirty = invalidateUpward(addr, upward.data());
     if (upwardDirty) {
         mem.writeBlock(addr, upward.data());
-        ++llcStats.dirtyWritebacks;
+        ++ctr->dirtyWritebacks;
     } else if (victim->dirty) {
-        ++llcStats.dataArray.reads;
+        ++ctr->dataArray.reads;
         mem.writeBlock(addr, victim->data.data());
-        ++llcStats.dirtyWritebacks;
+        ++ctr->dirtyWritebacks;
     }
     set.usedBytes -= victim->size;
     victim->valid = false;
@@ -81,19 +85,19 @@ BdiLlc::makeRoom(Set &set, u32 set_idx, unsigned extra)
 LastLevelCache::FetchResult
 BdiLlc::fetch(Addr addr, u8 *data)
 {
-    ++llcStats.fetches;
-    ++llcStats.tagArray.reads;
+    ++ctr->fetches;
+    ++ctr->tagArray.reads;
 
     Entry *entry = find(addr);
     if (entry) {
-        ++llcStats.fetchHits;
-        ++llcStats.dataArray.reads;
+        ++ctr->fetchHits;
+        ++ctr->dataArray.reads;
         entry->stamp = ++clock;
         std::memcpy(data, entry->data.data(), blockBytes);
         return {true, cfg.hitLatency + cfg.decompressLatency};
     }
 
-    ++llcStats.fetchMisses;
+    ++ctr->fetchMisses;
     BlockData fetched;
     mem.readBlock(addr, fetched.data());
 
@@ -114,8 +118,8 @@ BdiLlc::fetch(Addr addr, u8 *data)
         set.usedBytes += size;
         break;
     }
-    ++llcStats.tagArray.writes;
-    ++llcStats.dataArray.writes;
+    ++ctr->tagArray.writes;
+    ++ctr->dataArray.writes;
 
     std::memcpy(data, fetched.data(), blockBytes);
     return {false, cfg.hitLatency + mem.latency()};
@@ -124,13 +128,13 @@ BdiLlc::fetch(Addr addr, u8 *data)
 void
 BdiLlc::writeback(Addr addr, const u8 *data)
 {
-    ++llcStats.writebacksIn;
-    ++llcStats.tagArray.reads;
+    ++ctr->writebacksIn;
+    ++ctr->tagArray.reads;
 
     Entry *entry = find(addr);
     if (!entry) {
         mem.writeBlock(addr, data);
-        ++llcStats.dirtyWritebacks;
+        ++ctr->dirtyWritebacks;
         return;
     }
 
@@ -151,7 +155,7 @@ BdiLlc::writeback(Addr addr, const u8 *data)
     entry->size = newSize;
     entry->dirty = true;
     set.usedBytes += newSize;
-    ++llcStats.dataArray.writes;
+    ++ctr->dataArray.writes;
 }
 
 bool

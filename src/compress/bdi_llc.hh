@@ -39,7 +39,9 @@ class BdiLlc : public LastLevelCache
 {
   public:
     BdiLlc(MainMemory &memory, const BdiLlcConfig &config,
-           const ApproxRegistry *registry);
+           const ApproxRegistry *registry,
+           StatRegistry *stat_registry = nullptr,
+           const std::string &stat_group = "llc");
 
     FetchResult fetch(Addr addr, u8 *data) override;
     void writeback(Addr addr, const u8 *data) override;

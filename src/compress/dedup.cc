@@ -14,8 +14,10 @@ fnv1a64(const u8 *bytes, u64 len)
     return h;
 }
 
-DedupLlc::DedupLlc(MainMemory &memory, const DedupConfig &config)
-    : LastLevelCache(memory)
+DedupLlc::DedupLlc(MainMemory &memory, const DedupConfig &config,
+                   StatRegistry *stat_registry,
+                   const std::string &stat_group)
+    : LastLevelCache(memory, stat_registry, stat_group)
 {
     DoppConfig dc;
     dc.tagEntries = config.tagEntries;
@@ -27,7 +29,10 @@ DedupLlc::DedupLlc(MainMemory &memory, const DedupConfig &config)
     dc.mapOverride = [](const u8 *block, const MapParams &) {
         return fnv1a64(block, blockBytes);
     };
-    engine = std::make_unique<DoppelgangerCache>(memory, dc, nullptr);
+    // The engine owns every counter; register it under the dedup
+    // cache's own group so "llc.*" names resolve to engine activity.
+    engine = std::make_unique<DoppelgangerCache>(
+        memory, dc, nullptr, stat_registry, stat_group);
 }
 
 void

@@ -41,7 +41,9 @@ struct DedupConfig
 class DedupLlc : public LastLevelCache
 {
   public:
-    DedupLlc(MainMemory &memory, const DedupConfig &config);
+    DedupLlc(MainMemory &memory, const DedupConfig &config,
+             StatRegistry *stat_registry = nullptr,
+             const std::string &stat_group = "llc");
 
     FetchResult fetch(Addr addr, u8 *data) override;
     void writeback(Addr addr, const u8 *data) override;

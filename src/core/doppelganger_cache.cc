@@ -15,8 +15,11 @@ namespace dopp
 
 DoppelgangerCache::DoppelgangerCache(MainMemory &memory,
                                      const DoppConfig &config,
-                                     const ApproxRegistry *registry)
-    : LastLevelCache(memory), cfg(config), registry(registry),
+                                     const ApproxRegistry *registry,
+                                     StatRegistry *stat_registry,
+                                     const std::string &stat_group)
+    : LastLevelCache(memory, stat_registry, stat_group), cfg(config),
+      registry(registry),
       tags(config.tagEntries / config.tagWays, config.tagWays,
            config.tagPolicy),
       tagSlicer(config.tagEntries / config.tagWays),
@@ -29,6 +32,7 @@ DoppelgangerCache::DoppelgangerCache(MainMemory &memory,
     }
     if (config.dataEntries > config.tagEntries)
         warn("doppelganger: data array larger than tag array");
+    initLlcCounters();
 }
 
 i32
@@ -191,11 +195,11 @@ DoppelgangerCache::writebackTag(i32 tag_idx, const DataEntry &entry)
     const bool upwardDirty = invalidateUpward(addr, upward.data());
     if (upwardDirty) {
         mem.writeBlock(addr, upward.data());
-        ++llcStats.dirtyWritebacks;
+        ++ctr->dirtyWritebacks;
     } else if (t.dirty) {
-        ++llcStats.dataArray.reads;
+        ++ctr->dataArray.reads;
         mem.writeBlock(addr, entry.data.data());
-        ++llcStats.dirtyWritebacks;
+        ++ctr->dirtyWritebacks;
     }
 }
 
@@ -216,15 +220,15 @@ DoppelgangerCache::evictDataEntry(i32 data_idx)
         t.valid = false;
         t.prev = -1;
         t.next = -1;
-        ++llcStats.evictions;
+        ++ctr->evictions;
         ++count;
         cur = next;
     }
     d.head = -1;
     d.valid = false;
-    ++llcStats.dataEvictions;
-    llcStats.linkedTagsSum += count;
-    ++llcStats.linkedTagsSamples;
+    ++ctr->dataEvictions;
+    ctr->linkedTagsSum += count;
+    ++ctr->linkedTagsSamples;
 }
 
 void
@@ -239,14 +243,14 @@ DoppelgangerCache::evictTagEntry(i32 tag_idx)
     writebackTag(tag_idx, d);
     const bool empty = unlink(tag_idx, data_idx);
     t.valid = false;
-    ++llcStats.evictions;
+    ++ctr->evictions;
 
     if (empty) {
         // Sole tag: its data entry goes too (Sec 3.5).
         d.valid = false;
-        ++llcStats.dataEvictions;
-        llcStats.linkedTagsSum += 1;
-        ++llcStats.linkedTagsSamples;
+        ++ctr->dataEvictions;
+        ctr->linkedTagsSum += 1;
+        ++ctr->linkedTagsSamples;
     }
 }
 
@@ -304,7 +308,7 @@ DoppelgangerCache::insertBlock(Addr addr, const u8 *bytes)
     t.prev = -1;
     t.next = -1;
     tags.touchInsert(tset, tway);
-    ++llcStats.tagArray.writes;
+    ++ctr->tagArray.writes;
 
     const ApproxRegion *region = registry ? registry->find(addr) : nullptr;
     bool approx = cfg.unified ? region != nullptr : true;
@@ -313,7 +317,7 @@ DoppelgangerCache::insertBlock(Addr addr, const u8 *bytes)
         // would-be-approximate fills precisely (exact data, exclusive
         // entry) until the error estimate recovers.
         approx = false;
-        ++llcStats.degradedFills;
+        ++ctr->degradedFills;
     }
 
     if (!approx) {
@@ -330,16 +334,16 @@ DoppelgangerCache::insertBlock(Addr addr, const u8 *bytes)
         std::memcpy(d.data.data(), bytes, blockBytes);
         data.touchInsert(dset, static_cast<u32>(didx) % cfg.dataWays);
         t.map = static_cast<u64>(didx);
-        ++llcStats.mtagArray.writes;
-        ++llcStats.dataArray.writes;
+        ++ctr->mtagArray.writes;
+        ++ctr->dataArray.writes;
         observeClean();
         return;
     }
 
     t.precise = false;
     const u64 map = mapFor(addr, bytes);
-    ++llcStats.mapGens;
-    ++llcStats.mtagArray.reads;
+    ++ctr->mapGens;
+    ++ctr->mtagArray.reads;
 
     const i32 existing = findDataByMap(map);
     if (existing >= 0) {
@@ -366,8 +370,8 @@ DoppelgangerCache::insertBlock(Addr addr, const u8 *bytes)
     data.touchInsert(dset, static_cast<u32>(didx) % cfg.dataWays);
     linkHead(tidx, didx);
     t.map = map;
-    ++llcStats.mtagArray.writes;
-    ++llcStats.dataArray.writes;
+    ++ctr->mtagArray.writes;
+    ++ctr->dataArray.writes;
     observeClean();
 }
 
@@ -375,21 +379,21 @@ LastLevelCache::FetchResult
 DoppelgangerCache::fetch(Addr addr, u8 *out)
 {
     injectFaults();
-    ++llcStats.fetches;
-    ++llcStats.tagArray.reads;
+    ++ctr->fetches;
+    ++ctr->tagArray.reads;
 
     const i32 tidx = findTag(addr);
     if (tidx >= 0) {
-        ++llcStats.fetchHits;
+        ++ctr->fetchHits;
         TagEntry &t = tagAt(tidx);
         tags.touch(static_cast<u32>(tidx) / cfg.tagWays,
                    static_cast<u32>(tidx) % cfg.tagWays);
 
         // Second sequential lookup: the MTag array (Sec 3.2 step 2).
-        ++llcStats.mtagArray.reads;
+        ++ctr->mtagArray.reads;
         const i32 didx = dataIndexOfTag(t);
         DataEntry &d = dataAt(didx);
-        ++llcStats.dataArray.reads;
+        ++ctr->dataArray.reads;
         data.touch(static_cast<u32>(didx) / cfg.dataWays,
                    static_cast<u32>(didx) % cfg.dataWays);
         std::memcpy(out, d.data.data(), blockBytes);
@@ -399,7 +403,7 @@ DoppelgangerCache::fetch(Addr addr, u8 *out)
 
     // Miss: the requester gets the fetched (exact) values immediately;
     // placement happens off the critical path (Sec 3.3).
-    ++llcStats.fetchMisses;
+    ++ctr->fetchMisses;
     mem.readBlock(addr, out);
     insertBlock(addr, out);
     return {false, cfg.hitLatency + mem.latency()};
@@ -409,15 +413,15 @@ void
 DoppelgangerCache::writeback(Addr addr, const u8 *bytes)
 {
     injectFaults();
-    ++llcStats.writebacksIn;
-    ++llcStats.tagArray.reads;
+    ++ctr->writebacksIn;
+    ++ctr->tagArray.reads;
 
     const i32 tidx = findTag(addr);
     if (tidx < 0) {
         // Not resident (inclusion is maintained by the hierarchy, so
         // this only happens for orphan drains); go straight to memory.
         mem.writeBlock(addr, bytes);
-        ++llcStats.dirtyWritebacks;
+        ++ctr->dirtyWritebacks;
         observeClean();
         return;
     }
@@ -430,14 +434,14 @@ DoppelgangerCache::writeback(Addr addr, const u8 *bytes)
         DataEntry &d = dataAt(static_cast<i32>(t.map));
         std::memcpy(d.data.data(), bytes, blockBytes);
         t.dirty = true;
-        ++llcStats.dataArray.writes;
+        ++ctr->dataArray.writes;
         observeClean();
         return;
     }
 
     // Recompute the map with the new values (Sec 3.4).
     const u64 newMap = mapFor(addr, bytes);
-    ++llcStats.mapGens;
+    ++ctr->mapGens;
 
     if (newMap == t.map) {
         // Silent or similarity-preserving store: dirty bit only; the
@@ -449,13 +453,13 @@ DoppelgangerCache::writeback(Addr addr, const u8 *bytes)
     }
 
     // The map changed: move this tag to the new map's list.
-    ++llcStats.mtagArray.reads;
+    ++ctr->mtagArray.reads;
     const i32 oldIdx = dataIndexOfTag(t);
     if (unlink(tidx, oldIdx)) {
         // This tag was the sole user; the entry's data is superseded
         // by this very write, so it is freed without a writeback.
         dataAt(oldIdx).valid = false;
-        ++llcStats.dataEvictions;
+        ++ctr->dataEvictions;
     }
 
     const i32 existing = findDataByMap(newMap);
@@ -484,8 +488,8 @@ DoppelgangerCache::writeback(Addr addr, const u8 *bytes)
     linkHead(tidx, didx);
     t.map = newMap;
     t.dirty = true;
-    ++llcStats.mtagArray.writes;
-    ++llcStats.dataArray.writes;
+    ++ctr->mtagArray.writes;
+    ++ctr->dataArray.writes;
     observeClean();
 }
 
@@ -690,7 +694,7 @@ DoppelgangerCache::injectDataFault()
     const double after = blockElement(d.data.data(), p.type, elem);
 
     faults->record(FaultDomain::LlcData, slot, 0, bit);
-    ++llcStats.faultsInjected;
+    ++ctr->faultsInjected;
     if (guardrail) {
         // The flipped element's own normalized error, not the block
         // mean: a consumer of that element sees the full deviation, and
@@ -733,7 +737,7 @@ DoppelgangerCache::injectTagMetaFault()
         t.map ^= 1ULL << bit;
         faults->record(FaultDomain::TagMeta, static_cast<u64>(idx),
                        field, bit);
-        ++llcStats.faultsInjected;
+        ++ctr->faultsInjected;
         return true;
       }
       case 1:
@@ -747,7 +751,7 @@ DoppelgangerCache::injectTagMetaFault()
         ptr = static_cast<i32>(static_cast<u32>(ptr) ^ (1u << bit));
         faults->record(FaultDomain::TagMeta, static_cast<u64>(idx),
                        field, bit);
-        ++llcStats.faultsInjected;
+        ++ctr->faultsInjected;
         return true;
       }
       case 3:
@@ -756,13 +760,13 @@ DoppelgangerCache::injectTagMetaFault()
         t.dirty = !t.dirty;
         faults->record(FaultDomain::TagMeta, static_cast<u64>(idx),
                        field, 0);
-        ++llcStats.faultsInjected;
+        ++ctr->faultsInjected;
         return false;
       default:
         t.precise = !t.precise;
         faults->record(FaultDomain::TagMeta, static_cast<u64>(idx),
                        field, 0);
-        ++llcStats.faultsInjected;
+        ++ctr->faultsInjected;
         return true;
     }
 }
@@ -797,7 +801,7 @@ DoppelgangerCache::injectMTagMetaFault()
         d.tag ^= 1ULL << bit;
         faults->record(FaultDomain::MTagMeta, static_cast<u64>(idx),
                        field, bit);
-        ++llcStats.faultsInjected;
+        ++ctr->faultsInjected;
         return true;
       }
       case 1: {
@@ -808,14 +812,14 @@ DoppelgangerCache::injectMTagMetaFault()
             static_cast<i32>(static_cast<u32>(d.head) ^ (1u << bit));
         faults->record(FaultDomain::MTagMeta, static_cast<u64>(idx),
                        field, bit);
-        ++llcStats.faultsInjected;
+        ++ctr->faultsInjected;
         return true;
       }
       default:
         d.precise = !d.precise;
         faults->record(FaultDomain::MTagMeta, static_cast<u64>(idx),
                        field, 0);
-        ++llcStats.faultsInjected;
+        ++ctr->faultsInjected;
         return true;
     }
 }
@@ -827,14 +831,14 @@ DoppelgangerCache::selfCheckAndRepair()
     if (checkInvariants(&why))
         return false; // the flip was structurally silent
 
-    ++llcStats.faultsDetected;
+    ++ctr->faultsDetected;
     if (faults)
         faults->noteDetected();
 
     const auto [tagsDropped, entriesDropped] = repairMetadata();
-    ++llcStats.faultsRepaired;
-    llcStats.repairTagsDropped += tagsDropped;
-    llcStats.repairEntriesDropped += entriesDropped;
+    ++ctr->faultsRepaired;
+    ctr->repairTagsDropped += tagsDropped;
+    ctr->repairEntriesDropped += entriesDropped;
     if (faults)
         faults->noteRepair(tagsDropped, entriesDropped);
 
@@ -899,7 +903,7 @@ DoppelgangerCache::repairMetadata()
             BlockData upward;
             if (invalidateUpward(tagAddr(tidx), upward.data())) {
                 mem.writeBlock(tagAddr(tidx), upward.data());
-                ++llcStats.dirtyWritebacks;
+                ++ctr->dirtyWritebacks;
             }
             t.valid = false;
             t.prev = -1;

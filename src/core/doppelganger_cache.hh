@@ -123,9 +123,14 @@ class DoppelgangerCache : public LastLevelCache
      * @param config geometry and behaviour knobs
      * @param registry annotation registry for element types/ranges;
      *                 may be nullptr (defaults apply to every block)
+     * @param stat_registry registry to expose counters in; nullptr
+     *                      gives the cache a private registry
+     * @param stat_group dotted group path for this cache's counters
      */
     DoppelgangerCache(MainMemory &memory, const DoppConfig &config,
-                      const ApproxRegistry *registry);
+                      const ApproxRegistry *registry,
+                      StatRegistry *stat_registry = nullptr,
+                      const std::string &stat_group = "llc.dopp");
 
     FetchResult fetch(Addr addr, u8 *data) override;
     void writeback(Addr addr, const u8 *data) override;

@@ -17,14 +17,27 @@ addStats(const LlcStats &a, const LlcStats &b)
 }
 
 SplitLlc::SplitLlc(MainMemory &memory, const SplitLlcConfig &config,
-                   const ApproxRegistry &registry)
-    : LastLevelCache(memory), registry(registry)
+                   const ApproxRegistry &registry,
+                   StatRegistry *stat_registry,
+                   const std::string &stat_group)
+    : LastLevelCache(memory, stat_registry, stat_group),
+      registry(registry),
+      preciseHalf(std::make_unique<ConventionalLlc>(
+          memory, config.preciseBytes, config.preciseWays,
+          config.preciseLatency, &registry, ReplPolicy::LRU,
+          &statRegistry(),
+          statGroupPath() + ".precise")),
+      doppHalf(std::make_unique<DoppelgangerCache>(
+          memory, config.dopp, &registry, &statRegistry(),
+          statGroupPath() + ".dopp")),
+      degradedFillsCtr(statGroup().group("route").counter(
+          "degradedFills",
+          "approximate fills routed precise while degraded"))
 {
-    preciseHalf = std::make_unique<ConventionalLlc>(
-        memory, config.preciseBytes, config.preciseWays,
-        config.preciseLatency, &registry);
-    doppHalf = std::make_unique<DoppelgangerCache>(memory, config.dopp,
-                                                   &registry);
+    // Aggregate view: every canonical LlcStats field plus the derived
+    // formulas, computed over the sum of both halves and the split's
+    // own routing counters.
+    registerLlcStatsView(statGroup(), [this] { return stats(); });
 }
 
 void
@@ -47,7 +60,7 @@ SplitLlc::fetch(Addr addr, u8 *data)
             // Degraded: new approximate fills go to the precise half
             // (exact storage) until the error estimate recovers.
             // Doppelgänger-resident blocks keep hitting there.
-            ++llcStats.degradedFills;
+            ++degradedFillsCtr;
             return preciseHalf->fetch(addr, data);
         }
         return doppHalf->fetch(addr, data);
@@ -114,9 +127,8 @@ SplitLlc::stats() const
     // Sum of both halves plus the split's own routing counters
     // (degradedFills); each event is counted in exactly one of the
     // three blocks.
-    combined = addStats(addStats(preciseHalf->stats(),
-                                 doppHalf->stats()),
-                        llcStats);
+    combined = addStats(preciseHalf->stats(), doppHalf->stats());
+    combined.degradedFills += degradedFillsCtr.value();
     return combined;
 }
 
@@ -125,7 +137,7 @@ SplitLlc::resetStats()
 {
     preciseHalf->resetStats();
     doppHalf->resetStats();
-    llcStats = LlcStats();
+    degradedFillsCtr.reset();
 }
 
 } // namespace dopp

@@ -37,8 +37,16 @@ struct SplitLlcConfig
 class SplitLlc : public LastLevelCache
 {
   public:
+    /**
+     * @param stat_registry run-wide registry; the halves register
+     *        under @p stat_group ".precise" / ".dopp", the split's
+     *        routing counters under ".route", and an aggregate
+     *        whole-LLC view directly under @p stat_group
+     */
     SplitLlc(MainMemory &memory, const SplitLlcConfig &config,
-             const ApproxRegistry &registry);
+             const ApproxRegistry &registry,
+             StatRegistry *stat_registry = nullptr,
+             const std::string &stat_group = "llc");
 
     FetchResult fetch(Addr addr, u8 *data) override;
     void writeback(Addr addr, const u8 *data) override;
@@ -68,6 +76,7 @@ class SplitLlc : public LastLevelCache
     const ApproxRegistry &registry;
     std::unique_ptr<ConventionalLlc> preciseHalf;
     std::unique_ptr<DoppelgangerCache> doppHalf;
+    Counter &degradedFillsCtr; ///< fills routed precise while degraded
     mutable LlcStats combined;
 };
 

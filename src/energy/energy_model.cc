@@ -72,4 +72,66 @@ EnergyModel::unified(const LlcStats &stats, const DoppConfig &cfg,
     return r;
 }
 
+namespace
+{
+
+/** Read/write counters of array @p prefix from a registry snapshot. */
+ArrayCounters
+arrayFromSnapshot(const StatSnapshot &snap, const std::string &prefix)
+{
+    ArrayCounters c;
+    c.reads = snap.counter(prefix + ".reads");
+    c.writes = snap.counter(prefix + ".writes");
+    return c;
+}
+
+/** The LlcStats fields the energy model consumes, from a snapshot. */
+LlcStats
+energyStatsFromSnapshot(const StatSnapshot &snap,
+                        const std::string &group)
+{
+    LlcStats s;
+    s.tagArray = arrayFromSnapshot(snap, group + ".tagArray");
+    s.mtagArray = arrayFromSnapshot(snap, group + ".mtagArray");
+    s.dataArray = arrayFromSnapshot(snap, group + ".dataArray");
+    s.mapGens = snap.counter(group + ".mapGens");
+    return s;
+}
+
+Tick
+runtimeFromSnapshot(const StatSnapshot &snap)
+{
+    return snap.counter("run.runtimeCycles");
+}
+
+} // namespace
+
+EnergyResult
+EnergyModel::baseline(const StatSnapshot &snap, const std::string &group,
+                      u64 entries, u32 ways) const
+{
+    return baseline(energyStatsFromSnapshot(snap, group),
+                    runtimeFromSnapshot(snap), entries, ways);
+}
+
+EnergyResult
+EnergyModel::split(const StatSnapshot &snap,
+                   const std::string &precise_group,
+                   const std::string &dopp_group, const DoppConfig &cfg,
+                   u64 precise_entries, u32 precise_ways) const
+{
+    return split(energyStatsFromSnapshot(snap, precise_group),
+                 energyStatsFromSnapshot(snap, dopp_group), cfg,
+                 runtimeFromSnapshot(snap), precise_entries,
+                 precise_ways);
+}
+
+EnergyResult
+EnergyModel::unified(const StatSnapshot &snap, const std::string &group,
+                     const DoppConfig &cfg) const
+{
+    return unified(energyStatsFromSnapshot(snap, group), cfg,
+                   runtimeFromSnapshot(snap));
+}
+
 } // namespace dopp

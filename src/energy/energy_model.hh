@@ -51,6 +51,33 @@ class EnergyModel
     EnergyResult unified(const LlcStats &stats, const DoppConfig &cfg,
                          Tick cycles) const;
 
+    /**
+     * @name Snapshot-based overloads
+     * Pull the per-structure access counts out of a run's registry
+     * snapshot (RunResult::stats) by dotted structure name instead of
+     * a typed LlcStats: @p group names the group the organization's
+     * counters live under ("llc", "llc.precise", "llc.dopp"), and the
+     * runtime comes from "run.runtimeCycles". Fatal if a needed
+     * counter is missing from the snapshot.
+     */
+    /// @{
+    EnergyResult baseline(const StatSnapshot &snap,
+                          const std::string &group,
+                          u64 entries = 32 * 1024,
+                          u32 ways = 16) const;
+
+    EnergyResult split(const StatSnapshot &snap,
+                       const std::string &precise_group,
+                       const std::string &dopp_group,
+                       const DoppConfig &cfg,
+                       u64 precise_entries = 16 * 1024,
+                       u32 precise_ways = 16) const;
+
+    EnergyResult unified(const StatSnapshot &snap,
+                         const std::string &group,
+                         const DoppConfig &cfg) const;
+    /// @}
+
     const CactiLite &cacti() const { return model; }
 
   private:

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "util/random.hh"
+#include "util/stats.hh"
 #include "util/types.hh"
 
 namespace dopp
@@ -178,6 +179,40 @@ class FaultInjector
     const std::vector<FaultEvent> &events() const { return trace; }
 
     const FaultStats &stats() const { return stats_; }
+
+    /**
+     * Expose the fault tallies under @p group as counter functions
+     * over the existing FaultStats members (one per domain plus the
+     * detection/repair counters). The injector must outlive the
+     * registry's snapshots.
+     */
+    void
+    registerStats(StatGroup group)
+    {
+        StatGroup injected = group.group("injected");
+        for (unsigned d = 0; d < faultDomainCount; ++d) {
+            injected.counterFn(
+                faultDomainName(static_cast<FaultDomain>(d)),
+                [this, d] { return stats_.injected[d]; },
+                "bit flips injected into this domain");
+        }
+        group.counterFn(
+            "injected.total",
+            [this] { return stats_.totalInjected(); },
+            "bit flips injected across all domains");
+        group.counterFn(
+            "detected", [this] { return stats_.detected; },
+            "metadata faults caught by the self-check");
+        group.counterFn(
+            "repairs", [this] { return stats_.repairs; },
+            "repair passes run after a detection");
+        group.counterFn(
+            "tagsDropped", [this] { return stats_.tagsDropped; },
+            "tags invalidated to restore invariants");
+        group.counterFn(
+            "entriesDropped", [this] { return stats_.entriesDropped; },
+            "data entries invalidated by repair");
+    }
 
   private:
     double

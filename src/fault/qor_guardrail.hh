@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "sim/approx.hh"
+#include "util/stats.hh"
 #include "util/types.hh"
 
 namespace dopp
@@ -132,10 +133,42 @@ class QorGuardrail
         return sum;
     }
 
+    /**
+     * Expose guardrail state under @p group: counter functions over
+     * the estimator state, the current estimate as a formula, and a
+     * distribution of non-zero substitution errors sampled as they
+     * are observed. The guardrail must outlive the registry's
+     * snapshots.
+     */
+    void
+    registerStats(StatGroup group)
+    {
+        group.counterFn(
+            "observations", [this] { return obs; },
+            "substitution events folded into the estimate");
+        group.counterFn(
+            "degradations", [this] { return flips; },
+            "APPROX to DEGRADED transitions taken");
+        group.counterFn(
+            "degradedOps", [this] { return degradedOps(); },
+            "observations spent in the degraded state");
+        group.counterFn(
+            "degradedNow", [this] { return degradedNow ? 1 : 0; },
+            "whether approximation is currently degraded");
+        group.formula(
+            "estimate", [this] { return ewma; },
+            "EWMA normalized-error estimate");
+        errorDist = &group.distribution(
+            "substitutionError",
+            "non-zero normalized substitution errors observed");
+    }
+
   private:
     void
     observe(double sample)
     {
+        if (errorDist && sample > 0.0)
+            errorDist->sample(sample);
         if (!cfg.enabled())
             return;
         ++obs;
@@ -169,6 +202,7 @@ class QorGuardrail
     bool degradedNow = false;
     u64 openBegin = 0;
     std::vector<DegradedInterval> closed;
+    Distribution *errorDist = nullptr; ///< set by registerStats()
 };
 
 /**

@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <mutex>
 
-#include "compress/bdi_llc.hh"
-#include "compress/dedup.hh"
+#include "harness/llc_factory.hh"
 #include "sim/llc.hh"
 #include "sim/trace.hh"
 #include "sim/memory.hh"
@@ -29,12 +30,28 @@ llcKindName(LlcKind kind)
     return "?";
 }
 
+LlcKind
+llcKindFromName(const std::string &name)
+{
+    for (LlcKind kind : {LlcKind::Baseline, LlcKind::SplitDopp,
+                         LlcKind::UniDopp, LlcKind::Dedup,
+                         LlcKind::Bdi}) {
+        if (name == llcKindName(kind))
+            return kind;
+    }
+    fatal("unknown LLC organization name '%s'", name.c_str());
+    return LlcKind::Baseline;
+}
+
 DoppConfig
-splitDoppConfig(const RunConfig &cfg)
+doppConfigFor(const RunConfig &cfg, bool unified)
 {
     DoppConfig d;
-    // 1 MB tag-equivalent: 16 K tags (Table 1).
-    d.tagEntries = static_cast<u32>(cfg.baselineBytes / 2 / blockBytes);
+    // Table 1 tag-equivalents: the unified organization replaces the
+    // whole baseline (32 K tags for 2 MB); the split's Doppelgänger
+    // half replaces one half of it (16 K tags).
+    d.tagEntries = static_cast<u32>(
+        cfg.baselineBytes / (unified ? 1 : 2) / blockBytes);
     d.tagWays = cfg.llcWays;
     d.dataEntries = static_cast<u32>(
         static_cast<double>(d.tagEntries) * cfg.dataFraction);
@@ -45,28 +62,20 @@ splitDoppConfig(const RunConfig &cfg)
     d.dataPolicy = cfg.dataPolicy;
     d.tagCountAwareData = cfg.tagCountAwareData;
     d.hitLatency = cfg.llcLatency;
-    d.unified = false;
+    d.unified = unified;
     return d;
+}
+
+DoppConfig
+splitDoppConfig(const RunConfig &cfg)
+{
+    return doppConfigFor(cfg, false);
 }
 
 DoppConfig
 uniDoppConfig(const RunConfig &cfg)
 {
-    DoppConfig d;
-    // 2 MB tag-equivalent: 32 K tags (Table 1).
-    d.tagEntries = static_cast<u32>(cfg.baselineBytes / blockBytes);
-    d.tagWays = cfg.llcWays;
-    d.dataEntries = static_cast<u32>(
-        static_cast<double>(d.tagEntries) * cfg.dataFraction);
-    d.dataWays = cfg.llcWays;
-    d.mapBits = cfg.mapBits;
-    d.hashMode = cfg.hashMode;
-    d.hashDataSetIndex = cfg.hashDataSetIndex;
-    d.dataPolicy = cfg.dataPolicy;
-    d.tagCountAwareData = cfg.tagCountAwareData;
-    d.hitLatency = cfg.llcLatency;
-    d.unified = true;
-    return d;
+    return doppConfigFor(cfg, true);
 }
 
 double
@@ -83,75 +92,62 @@ runWorkload(const RunConfig &cfg)
     return runWorkload(cfg.workloadName, cfg);
 }
 
+namespace
+{
+
+/**
+ * Append one JSON line for @p r to the DOPP_STATS_JSON path, if set.
+ * The batch runner runs workloads from worker threads, so the append
+ * is serialized process-wide; line order across runs is therefore
+ * unspecified under DOPP_JOBS > 1.
+ */
+void
+maybeAppendStatsJson(const RunResult &r)
+{
+    const char *path = std::getenv("DOPP_STATS_JSON");
+    if (!path || !*path)
+        return;
+    static std::mutex ioMutex;
+    std::lock_guard<std::mutex> lock(ioMutex);
+    std::ofstream out(path, std::ios::app);
+    if (!out)
+        fatal("DOPP_STATS_JSON: cannot open '%s' for append", path);
+    out << "{\"workload\":\"" << r.workload << "\",\"organization\":\""
+        << r.organization << "\",\"stats\":" << r.stats.json() << "}\n";
+}
+
+} // namespace
+
 RunResult
 runWorkload(const std::string &workload_name, const RunConfig &cfg)
 {
+    // One registry per run: every layer below registers its counters
+    // here, and the end-of-run snapshot becomes RunResult::stats.
+    StatRegistry statReg;
+
     MainMemory memory;
+    memory.registerStats(statReg.group("mem"));
     ApproxRegistry registry;
 
-    std::unique_ptr<LastLevelCache> llc;
-    const SplitLlc *split = nullptr;
-    const DoppelgangerCache *doppView = nullptr;
-    DoppConfig doppCfg;
-
-    switch (cfg.kind) {
-      case LlcKind::Baseline:
-        llc = std::make_unique<ConventionalLlc>(
-            memory, cfg.baselineBytes, cfg.llcWays, cfg.llcLatency,
-            &registry);
-        break;
-      case LlcKind::SplitDopp: {
-        SplitLlcConfig sc;
-        sc.preciseBytes = cfg.baselineBytes / 2;
-        sc.preciseWays = cfg.llcWays;
-        sc.preciseLatency = cfg.llcLatency;
-        sc.dopp = splitDoppConfig(cfg);
-        doppCfg = sc.dopp;
-        auto ptr = std::make_unique<SplitLlc>(memory, sc, registry);
-        split = ptr.get();
-        doppView = &ptr->doppelganger();
-        llc = std::move(ptr);
-        break;
-      }
-      case LlcKind::UniDopp: {
-        doppCfg = uniDoppConfig(cfg);
-        auto ptr = std::make_unique<DoppelgangerCache>(memory, doppCfg,
-                                                       &registry);
-        doppView = ptr.get();
-        llc = std::move(ptr);
-        break;
-      }
-      case LlcKind::Bdi: {
-        BdiLlcConfig bc;
-        bc.sizeBytes = cfg.baselineBytes;
-        bc.ways = cfg.llcWays;
-        bc.hitLatency = cfg.llcLatency;
-        llc = std::make_unique<BdiLlc>(memory, bc, &registry);
-        break;
-      }
-      case LlcKind::Dedup: {
-        DedupConfig dc;
-        dc.tagEntries =
-            static_cast<u32>(cfg.baselineBytes / blockBytes);
-        dc.tagWays = cfg.llcWays;
-        dc.dataEntries = static_cast<u32>(
-            static_cast<double>(dc.tagEntries) * cfg.dataFraction);
-        dc.dataWays = cfg.llcWays;
-        dc.hitLatency = cfg.llcLatency;
-        llc = std::make_unique<DedupLlc>(memory, dc);
-        break;
-      }
-    }
+    const std::string orgName =
+        cfg.llcName.empty() ? llcKindName(cfg.kind) : cfg.llcName;
+    LlcBuilt built =
+        buildLlc(orgName, memory, registry, cfg, statReg);
+    LastLevelCache *llc = built.llc.get();
 
     // Fault injection and QoR guardrail (attached independently: a
     // guardrail without faults budgets the baseline approximation
     // error; an injector without a guardrail measures raw resilience).
     std::unique_ptr<FaultInjector> injector;
     std::unique_ptr<QorGuardrail> guard;
-    if (cfg.fault.enabled())
+    if (cfg.fault.enabled()) {
         injector = std::make_unique<FaultInjector>(cfg.fault);
-    if (cfg.qor.enabled())
+        injector->registerStats(statReg.group("fault"));
+    }
+    if (cfg.qor.enabled()) {
         guard = std::make_unique<QorGuardrail>(cfg.qor);
+        guard->registerStats(statReg.group("qor"));
+    }
 
     if (injector) {
         llc->setFaultInjector(injector.get());
@@ -190,8 +186,24 @@ runWorkload(const std::string &workload_name, const RunConfig &cfg)
         llc->setGuardrail(guard.get());
 
     HierarchyConfig hc; // Table 1 defaults
-    MemorySystem system(hc, *llc, memory);
+    MemorySystem system(hc, *llc, memory, &statReg, "hierarchy");
     SimRuntime rt(system, memory, registry);
+
+    // Run-level derived stats, computed at snapshot time.
+    const DoppelgangerCache *doppView = built.dopp;
+    StatGroup runGroup = statReg.group("run");
+    runGroup.counterFn(
+        "runtimeCycles", [&rt] { return rt.runtime(); },
+        "slowest core's cycles");
+    runGroup.formula(
+        "tagsPerDataEntry",
+        [doppView] {
+            if (!doppView || doppView->dataCount() == 0)
+                return 0.0;
+            return static_cast<double>(doppView->tagCount()) /
+                static_cast<double>(doppView->dataCount());
+        },
+        "end-of-run occupancy: tags per valid data entry");
 
     if (cfg.snapshotPeriod && cfg.onSnapshot) {
         rt.setPeriodicHook(cfg.snapshotPeriod, [&]() {
@@ -225,20 +237,21 @@ runWorkload(const std::string &workload_name, const RunConfig &cfg)
 
     RunResult r;
     r.workload = workload_name;
-    r.organization = llcKindName(cfg.kind);
+    r.organization = orgName;
     r.runtime = rt.runtime();
     r.output = workload->output();
+    r.stats = statReg.snapshot();
     r.llc = llc->stats();
-    if (split) {
-        r.preciseHalf = split->precise().stats();
-        r.doppHalf = split->doppelganger().stats();
-    } else if (cfg.kind == LlcKind::UniDopp) {
+    if (built.split) {
+        r.preciseHalf = built.split->precise().stats();
+        r.doppHalf = built.split->doppelganger().stats();
+    } else if (doppView) {
         r.doppHalf = llc->stats();
     }
     r.hierarchy = system.stats();
     r.memReads = memory.reads();
     r.memWrites = memory.writes();
-    r.doppConfig = doppCfg;
+    r.doppConfig = built.doppConfig;
     if (injector) {
         r.fault = injector->stats();
         r.faultTrace = injector->events();
@@ -254,6 +267,7 @@ runWorkload(const std::string &workload_name, const RunConfig &cfg)
             static_cast<double>(doppView->tagCount()) /
             static_cast<double>(doppView->dataCount());
     }
+    maybeAppendStatsJson(r);
     return r;
 }
 

@@ -36,6 +36,9 @@ enum class LlcKind : u8
 /** Name of @p kind for reports. */
 const char *llcKindName(LlcKind kind);
 
+/** Exact inverse of llcKindName(); fatal on an unknown name. */
+LlcKind llcKindFromName(const std::string &name);
+
 /** One run's configuration. */
 struct RunConfig
 {
@@ -44,6 +47,11 @@ struct RunConfig
     std::string workloadName;
 
     LlcKind kind = LlcKind::Baseline;
+
+    /** LLC factory organization name; overrides @ref kind when
+     * non-empty. Must name a registered builder (llc_factory.hh) —
+     * this is how experiments plug in custom organizations. */
+    std::string llcName;
 
     /** Doppelgänger map-space size M (Table 1 default 14). */
     unsigned mapBits = 14;
@@ -102,6 +110,15 @@ struct RunResult
     Tick runtime = 0;               ///< slowest core's cycles
     std::vector<double> output;     ///< application final output
 
+    /**
+     * End-of-run snapshot of the run's full StatRegistry: every
+     * counter any layer registered, under its dotted name ("llc.*",
+     * "hierarchy.*", "mem.*", "fault.*", "qor.*", "run.*"). This is
+     * the authoritative record; the typed fields below are
+     * compatibility views derived from the same counters.
+     */
+    StatSnapshot stats;
+
     LlcStats llc;                   ///< aggregate LLC stats
     LlcStats preciseHalf;           ///< split only: precise half
     LlcStats doppHalf;              ///< split only: Doppelgänger half
@@ -134,6 +151,13 @@ struct RunResult
 
     u64 offChipTraffic() const { return memReads + memWrites; }
 };
+
+/**
+ * Build the DoppConfig for a Doppelgänger organization under @p cfg:
+ * @p unified selects the 2 MB-tag-equivalent unified geometry, false
+ * the 1 MB-tag-equivalent half of the split organization (Table 1).
+ */
+DoppConfig doppConfigFor(const RunConfig &cfg, bool unified);
 
 /** Build the DoppConfig the split organization uses under @p cfg. */
 DoppConfig splitDoppConfig(const RunConfig &cfg);

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Builders of the five built-in LLC organizations. Each builder
+ * constructs its organization against the run's StatRegistry:
+ * organizations whose counters live directly under "llc" (baseline,
+ * bdi, dedup) add the derived formulas there; organizations whose
+ * counters live in subgroups (split, uniDoppelgänger) expose an
+ * aggregate whole-LLC view under "llc" instead.
+ */
+
+#include "compress/bdi_llc.hh"
+#include "compress/dedup.hh"
+#include "harness/experiment.hh"
+#include "harness/llc_factory.hh"
+
+namespace dopp
+{
+
+namespace
+{
+
+LlcBuilt
+buildBaseline(MainMemory &memory, const ApproxRegistry &registry,
+              const RunConfig &cfg, StatRegistry &stats)
+{
+    LlcBuilt built;
+    auto ptr = std::make_unique<ConventionalLlc>(
+        memory, cfg.baselineBytes, cfg.llcWays, cfg.llcLatency,
+        &registry, ReplPolicy::LRU, &stats, "llc");
+    registerLlcFormulas(stats.group("llc"),
+                        [llc = ptr.get()] { return llc->stats(); });
+    built.llc = std::move(ptr);
+    return built;
+}
+
+LlcBuilt
+buildSplitDopp(MainMemory &memory, const ApproxRegistry &registry,
+               const RunConfig &cfg, StatRegistry &stats)
+{
+    SplitLlcConfig sc;
+    sc.preciseBytes = cfg.baselineBytes / 2;
+    sc.preciseWays = cfg.llcWays;
+    sc.preciseLatency = cfg.llcLatency;
+    sc.dopp = splitDoppConfig(cfg);
+
+    LlcBuilt built;
+    built.doppConfig = sc.dopp;
+    auto ptr =
+        std::make_unique<SplitLlc>(memory, sc, registry, &stats, "llc");
+    built.split = ptr.get();
+    built.dopp = &ptr->doppelganger();
+    built.llc = std::move(ptr);
+    return built;
+}
+
+LlcBuilt
+buildUniDopp(MainMemory &memory, const ApproxRegistry &registry,
+             const RunConfig &cfg, StatRegistry &stats)
+{
+    LlcBuilt built;
+    built.doppConfig = uniDoppConfig(cfg);
+    auto ptr = std::make_unique<DoppelgangerCache>(
+        memory, built.doppConfig, &registry, &stats, "llc.dopp");
+    built.dopp = ptr.get();
+    registerLlcStatsView(stats.group("llc"),
+                         [llc = ptr.get()] { return llc->stats(); });
+    built.llc = std::move(ptr);
+    return built;
+}
+
+LlcBuilt
+buildBdi(MainMemory &memory, const ApproxRegistry &registry,
+         const RunConfig &cfg, StatRegistry &stats)
+{
+    BdiLlcConfig bc;
+    bc.sizeBytes = cfg.baselineBytes;
+    bc.ways = cfg.llcWays;
+    bc.hitLatency = cfg.llcLatency;
+
+    LlcBuilt built;
+    auto ptr =
+        std::make_unique<BdiLlc>(memory, bc, &registry, &stats, "llc");
+    registerLlcFormulas(stats.group("llc"),
+                        [llc = ptr.get()] { return llc->stats(); });
+    built.llc = std::move(ptr);
+    return built;
+}
+
+LlcBuilt
+buildDedup(MainMemory &memory, const ApproxRegistry &,
+           const RunConfig &cfg, StatRegistry &stats)
+{
+    DedupConfig dc;
+    dc.tagEntries = static_cast<u32>(cfg.baselineBytes / blockBytes);
+    dc.tagWays = cfg.llcWays;
+    dc.dataEntries = static_cast<u32>(
+        static_cast<double>(dc.tagEntries) * cfg.dataFraction);
+    dc.dataWays = cfg.llcWays;
+    dc.hitLatency = cfg.llcLatency;
+
+    LlcBuilt built;
+    auto ptr = std::make_unique<DedupLlc>(memory, dc, &stats, "llc");
+    registerLlcFormulas(stats.group("llc"),
+                        [llc = ptr.get()] { return llc->stats(); });
+    built.llc = std::move(ptr);
+    return built;
+}
+
+} // namespace
+
+void
+registerBuiltinLlcs()
+{
+    static const bool once = [] {
+        registerLlc(llcKindName(LlcKind::Baseline), buildBaseline);
+        registerLlc(llcKindName(LlcKind::SplitDopp), buildSplitDopp);
+        registerLlc(llcKindName(LlcKind::UniDopp), buildUniDopp);
+        registerLlc(llcKindName(LlcKind::Dedup), buildDedup);
+        registerLlc(llcKindName(LlcKind::Bdi), buildBdi);
+        return true;
+    }();
+    (void)once;
+}
+
+} // namespace dopp

@@ -1,0 +1,93 @@
+#include "llc_factory.hh"
+
+#include <unordered_map>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace dopp
+{
+
+namespace
+{
+
+struct Factory
+{
+    std::unordered_map<std::string, LlcBuilder> builders;
+    std::vector<std::string> order; ///< registration order
+};
+
+/** Bare registration storage. registerLlc() writes here directly so
+ * registerBuiltinLlcs() can run while a lookup is ensuring the
+ * built-ins (no re-entrant static initialization). */
+Factory &
+storage()
+{
+    static Factory f;
+    return f;
+}
+
+/** Lookups go through here: built-ins register on first use, so a
+ * static-archive link cannot drop them as unreferenced objects. */
+Factory &
+factory()
+{
+    registerBuiltinLlcs();
+    return storage();
+}
+
+} // namespace
+
+void
+registerLlc(const std::string &name, LlcBuilder builder)
+{
+    if (name.empty())
+        fatal("llc factory: empty organization name");
+    if (!builder)
+        fatal("llc factory: null builder for '%s'", name.c_str());
+    Factory &f = storage();
+    auto [it, inserted] = f.builders.emplace(name, std::move(builder));
+    if (!inserted) {
+        fatal("llc factory: organization '%s' registered twice",
+              name.c_str());
+    }
+    f.order.push_back(name);
+}
+
+bool
+llcRegistered(const std::string &name)
+{
+    Factory &f = factory();
+    return f.builders.find(name) != f.builders.end();
+}
+
+std::vector<std::string>
+registeredLlcNames()
+{
+    return factory().order;
+}
+
+LlcBuilt
+buildLlc(const std::string &name, MainMemory &memory,
+         const ApproxRegistry &registry, const RunConfig &cfg,
+         StatRegistry &stats)
+{
+    Factory &f = factory();
+    auto it = f.builders.find(name);
+    if (it == f.builders.end()) {
+        std::string known;
+        for (const std::string &n : f.order) {
+            if (!known.empty())
+                known += ", ";
+            known += n;
+        }
+        fatal("llc factory: unknown organization '%s' (registered: %s)",
+              name.c_str(), known.c_str());
+    }
+    LlcBuilt built = it->second(memory, registry, cfg, stats);
+    if (!built.llc)
+        fatal("llc factory: builder '%s' returned no LLC", name.c_str());
+    return built;
+}
+
+} // namespace dopp

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Self-registering LLC factory: maps organization names (the
+ * llcKindName() strings) to builder functions, replacing the
+ * hard-coded switch the harness used to grow for every new
+ * organization. The five built-in organizations register themselves
+ * (llc_builders.cc); experiments and tests may add their own with
+ * registerLlc() before calling runWorkload().
+ */
+
+#ifndef DOPP_HARNESS_LLC_FACTORY_HH
+#define DOPP_HARNESS_LLC_FACTORY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/doppelganger_cache.hh"
+#include "core/split_llc.hh"
+#include "sim/llc.hh"
+#include "sim/memory.hh"
+#include "util/stats.hh"
+
+namespace dopp
+{
+
+struct RunConfig;
+
+/** What a builder hands back to the harness. */
+struct LlcBuilt
+{
+    std::unique_ptr<LastLevelCache> llc;
+
+    /** Set when the organization is the split one (per-half stats). */
+    const SplitLlc *split = nullptr;
+
+    /** Set when a Doppelgänger engine is reachable (occupancy). */
+    const DoppelgangerCache *dopp = nullptr;
+
+    /** Geometry actually used, for the energy model; defaulted for
+     * organizations without a Doppelgänger engine. */
+    DoppConfig doppConfig;
+};
+
+/**
+ * Builds one LLC organization for a run. The builder registers the
+ * organization's counters into @p stats (group "llc" by convention)
+ * and may consult any RunConfig knob.
+ */
+using LlcBuilder = std::function<LlcBuilt(
+    MainMemory &memory, const ApproxRegistry &registry,
+    const RunConfig &cfg, StatRegistry &stats)>;
+
+/**
+ * Register @p builder under @p name. Registering a name twice is
+ * fatal (catches accidental shadowing of a built-in organization).
+ */
+void registerLlc(const std::string &name, LlcBuilder builder);
+
+/** Whether @p name has a registered builder. */
+bool llcRegistered(const std::string &name);
+
+/** Registered organization names, in registration order. */
+std::vector<std::string> registeredLlcNames();
+
+/**
+ * Build the organization registered under @p name; fatal if @p name
+ * is unknown (the message lists what is registered).
+ */
+LlcBuilt buildLlc(const std::string &name, MainMemory &memory,
+                  const ApproxRegistry &registry, const RunConfig &cfg,
+                  StatRegistry &stats);
+
+/** Force registration of the five built-in organizations. Called by
+ * the factory itself; callable from tests that enumerate names. */
+void registerBuiltinLlcs();
+
+} // namespace dopp
+
+#endif // DOPP_HARNESS_LLC_FACTORY_HH

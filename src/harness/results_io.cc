@@ -3,110 +3,48 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "util/logging.hh"
 
 namespace dopp
 {
 
-namespace
+std::vector<std::string>
+resultStatColumns(const std::vector<RunResult> &results)
 {
-
-/** Fields serialized for every run, as (name, getter) pairs. */
-struct Field
-{
-    const char *name;
-    u64 (*get)(const RunResult &);
-};
-
-const Field numericFields[] = {
-    {"runtime_cycles", [](const RunResult &r) { return r.runtime; }},
-    {"accesses",
-     [](const RunResult &r) { return r.hierarchy.accesses; }},
-    {"loads", [](const RunResult &r) { return r.hierarchy.loads; }},
-    {"stores", [](const RunResult &r) { return r.hierarchy.stores; }},
-    {"l1_hits", [](const RunResult &r) { return r.hierarchy.l1Hits; }},
-    {"l1_misses",
-     [](const RunResult &r) { return r.hierarchy.l1Misses; }},
-    {"l2_hits", [](const RunResult &r) { return r.hierarchy.l2Hits; }},
-    {"l2_misses",
-     [](const RunResult &r) { return r.hierarchy.l2Misses; }},
-    {"llc_fetches", [](const RunResult &r) { return r.llc.fetches; }},
-    {"llc_hits", [](const RunResult &r) { return r.llc.fetchHits; }},
-    {"llc_misses",
-     [](const RunResult &r) { return r.llc.fetchMisses; }},
-    {"llc_writebacks_in",
-     [](const RunResult &r) { return r.llc.writebacksIn; }},
-    {"llc_evictions",
-     [](const RunResult &r) { return r.llc.evictions; }},
-    {"llc_data_evictions",
-     [](const RunResult &r) { return r.llc.dataEvictions; }},
-    {"llc_dirty_writebacks",
-     [](const RunResult &r) { return r.llc.dirtyWritebacks; }},
-    {"llc_back_invalidations",
-     [](const RunResult &r) { return r.llc.backInvalidations; }},
-    {"tag_reads", [](const RunResult &r) { return r.llc.tagArray.reads; }},
-    {"tag_writes",
-     [](const RunResult &r) { return r.llc.tagArray.writes; }},
-    {"mtag_reads",
-     [](const RunResult &r) { return r.llc.mtagArray.reads; }},
-    {"mtag_writes",
-     [](const RunResult &r) { return r.llc.mtagArray.writes; }},
-    {"data_reads",
-     [](const RunResult &r) { return r.llc.dataArray.reads; }},
-    {"data_writes",
-     [](const RunResult &r) { return r.llc.dataArray.writes; }},
-    {"map_gens", [](const RunResult &r) { return r.llc.mapGens; }},
-    {"mem_reads", [](const RunResult &r) { return r.memReads; }},
-    {"mem_writes", [](const RunResult &r) { return r.memWrites; }},
-    {"mem_faults",
-     [](const RunResult &r) {
-         return r.fault.injected[static_cast<size_t>(
-             FaultDomain::MemoryData)];
-     }},
-    {"llc_faults_injected",
-     [](const RunResult &r) { return r.llc.faultsInjected; }},
-    {"faults_detected",
-     [](const RunResult &r) { return r.llc.faultsDetected; }},
-    {"faults_repaired",
-     [](const RunResult &r) { return r.llc.faultsRepaired; }},
-    {"repair_tags_dropped",
-     [](const RunResult &r) { return r.llc.repairTagsDropped; }},
-    {"repair_entries_dropped",
-     [](const RunResult &r) { return r.llc.repairEntriesDropped; }},
-    {"degraded_fills",
-     [](const RunResult &r) { return r.llc.degradedFills; }},
-    {"guardrail_degradations",
-     [](const RunResult &r) { return r.guardrailDegradations; }},
-    {"guardrail_degraded_ops",
-     [](const RunResult &r) { return r.guardrailDegradedOps; }},
-};
-
-} // namespace
+    std::vector<std::string> columns;
+    std::unordered_set<std::string> seen;
+    for (const RunResult &r : results) {
+        for (const StatValue &v : r.stats.values()) {
+            if (seen.insert(v.name).second)
+                columns.push_back(v.name);
+        }
+    }
+    return columns;
+}
 
 std::string
-runResultCsvHeader()
+runResultCsvHeader(const RunResult &result)
 {
     std::string out = "workload,organization";
-    for (const auto &f : numericFields) {
+    for (const StatValue &v : result.stats.values()) {
         out += ',';
-        out += f.name;
+        out += v.name;
     }
-    out += ",tags_per_data_entry,guardrail_estimate";
     return out;
 }
 
 std::string
 runResultCsvRow(const RunResult &result)
 {
-    std::ostringstream out;
-    out << result.workload << ',' << result.organization;
-    for (const auto &f : numericFields)
-        out << ',' << f.get(result);
-    out << ',' << result.tagsPerDataEntry << ','
-        << result.guardrailEstimate;
-    return out.str();
+    std::string out = result.workload + ',' + result.organization;
+    for (const StatValue &v : result.stats.values()) {
+        out += ',';
+        out += v.str();
+    }
+    return out;
 }
 
 void
@@ -116,24 +54,39 @@ writeResultsCsv(const std::string &path,
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
         fatal("cannot open '%s' for writing", path.c_str());
-    std::fprintf(f, "%s\n", runResultCsvHeader().c_str());
-    for (const auto &r : results)
-        std::fprintf(f, "%s\n", runResultCsvRow(r).c_str());
+
+    const std::vector<std::string> columns = resultStatColumns(results);
+    std::string header = "workload,organization";
+    for (const std::string &c : columns) {
+        header += ',';
+        header += c;
+    }
+    std::fprintf(f, "%s\n", header.c_str());
+
+    for (const RunResult &r : results) {
+        std::unordered_map<std::string, const StatValue *> byName;
+        byName.reserve(r.stats.size());
+        for (const StatValue &v : r.stats.values())
+            byName.emplace(v.name, &v);
+        std::string row = r.workload + ',' + r.organization;
+        for (const std::string &c : columns) {
+            row += ',';
+            auto it = byName.find(c);
+            row += it == byName.end() ? std::string("0")
+                                      : it->second->str();
+        }
+        std::fprintf(f, "%s\n", row.c_str());
+    }
     std::fclose(f);
 }
 
 std::string
 runResultJson(const RunResult &result)
 {
-    std::ostringstream out;
-    out << "{\"workload\":\"" << result.workload
-        << "\",\"organization\":\"" << result.organization << '"';
-    for (const auto &f : numericFields)
-        out << ",\"" << f.name << "\":" << f.get(result);
-    out << ",\"tags_per_data_entry\":" << result.tagsPerDataEntry
-        << ",\"guardrail_estimate\":" << result.guardrailEstimate
-        << '}';
-    return out.str();
+    std::string out = "{\"workload\":\"" + result.workload +
+        "\",\"organization\":\"" + result.organization +
+        "\",\"stats\":" + result.stats.json() + '}';
+    return out;
 }
 
 void

@@ -2,8 +2,11 @@
  * @file
  * Result export: write RunResults as CSV or JSON so figure data can be
  * post-processed outside the simulator (plots, spreadsheets, CI
- * dashboards). Columns cover everything RunResult carries, including
- * the per-structure access counters the energy model consumes.
+ * dashboards). Columns are derived from the run's StatRegistry schema
+ * (RunResult::stats): every counter any layer registered appears under
+ * its dotted name, so a new counter shows up in the export the moment
+ * it is registered — there is no separate serialization table to keep
+ * in sync.
  */
 
 #ifndef DOPP_HARNESS_RESULTS_IO_HH
@@ -17,17 +20,29 @@
 namespace dopp
 {
 
-/** The CSV header row matching runResultCsvRow(). */
-std::string runResultCsvHeader();
+/**
+ * Stat columns for @p results: the union of every result's snapshot
+ * names, in first-seen order. Runs with different stat schemas (e.g.
+ * a fault campaign next to a clean run) merge into one column set;
+ * absent values serialize as 0.
+ */
+std::vector<std::string>
+resultStatColumns(const std::vector<RunResult> &results);
 
-/** One RunResult as a CSV row (no trailing newline). */
+/** The CSV header row for @p result's own schema. */
+std::string runResultCsvHeader(const RunResult &result);
+
+/** One RunResult as a CSV row against its own schema (matches
+ * runResultCsvHeader(result); no trailing newline). */
 std::string runResultCsvRow(const RunResult &result);
 
-/** Write @p results (with header) to @p path. Fatal on I/O errors. */
+/** Write @p results (with a union-schema header) to @p path. Fatal on
+ * I/O errors. */
 void writeResultsCsv(const std::string &path,
                      const std::vector<RunResult> &results);
 
-/** One RunResult as a JSON object string. */
+/** One RunResult as a JSON object string: workload, organization and
+ * the hierarchical stats object (StatSnapshot::json()). */
 std::string runResultJson(const RunResult &result);
 
 /** Write @p results as a JSON array to @p path. */

@@ -7,12 +7,79 @@
 namespace dopp
 {
 
+HierCounters::HierCounters(StatGroup group)
+    : accesses(group.counter("accesses", "core memory accesses")),
+      loads(group.counter("loads", "core loads")),
+      stores(group.counter("stores", "core stores")),
+      l1Hits(group.counter("l1.hits", "L1 hits")),
+      l1Misses(group.counter("l1.misses", "L1 misses")),
+      l2Hits(group.counter("l2.hits", "L2 hits")),
+      l2Misses(group.counter("l2.misses", "L2 misses")),
+      upgrades(group.counter("upgrades",
+                             "write hits needing ownership")),
+      remoteFetches(group.counter(
+          "remoteFetches", "blocks pulled out of a remote M copy")),
+      invalidationsSent(group.counter("invalidationsSent",
+                                      "coherence invalidations sent"))
+{
+    group.formula(
+        "l2Mpka",
+        [this] { return view().l2Mpka(); },
+        "L2 misses per thousand core accesses");
+}
+
+HierarchyStats
+HierCounters::view() const
+{
+    HierarchyStats s;
+    s.accesses = accesses.value();
+    s.loads = loads.value();
+    s.stores = stores.value();
+    s.l1Hits = l1Hits.value();
+    s.l1Misses = l1Misses.value();
+    s.l2Hits = l2Hits.value();
+    s.l2Misses = l2Misses.value();
+    s.upgrades = upgrades.value();
+    s.remoteFetches = remoteFetches.value();
+    s.invalidationsSent = invalidationsSent.value();
+    return s;
+}
+
+void
+HierCounters::reset()
+{
+    accesses.reset();
+    loads.reset();
+    stores.reset();
+    l1Hits.reset();
+    l1Misses.reset();
+    l2Hits.reset();
+    l2Misses.reset();
+    upgrades.reset();
+    remoteFetches.reset();
+    invalidationsSent.reset();
+}
+
 MemorySystem::MemorySystem(const HierarchyConfig &config,
-                           LastLevelCache &llc, MainMemory &memory)
-    : cfg(config), llcRef(llc), mem(memory)
+                           LastLevelCache &llc, MainMemory &memory,
+                           StatRegistry *stat_registry,
+                           const std::string &stat_group)
+    : cfg(config), llcRef(llc), mem(memory),
+      ownedStats(stat_registry ? nullptr
+                               : std::make_unique<StatRegistry>())
 {
     if (cfg.numCores == 0 || cfg.numCores > 8)
         fatal("unsupported core count %u", cfg.numCores);
+    StatRegistry &reg =
+        stat_registry ? *stat_registry : *ownedStats;
+    StatGroup group = reg.group(stat_group);
+    ctr = std::make_unique<HierCounters>(group);
+    group.counterFn(
+        "l1.accesses", [this] { return l1Accesses(); },
+        "total L1 accesses across cores");
+    group.counterFn(
+        "l2.accesses", [this] { return l2Accesses(); },
+        "total L2 accesses across cores");
     for (u32 c = 0; c < cfg.numCores; ++c) {
         l1.push_back(std::make_unique<PrivateCache>(cfg.l1Bytes,
                                                     cfg.l1Ways));
@@ -62,7 +129,7 @@ MemorySystem::invalidateOthers(Addr addr, int except, u8 *merged)
         de.sharers &= static_cast<u8>(~(1u << c));
         if (de.owner == static_cast<int>(c))
             de.owner = -1;
-        ++hierStats.invalidationsSent;
+        ++ctr->invalidationsSent;
     }
     dirMaybeErase(addr);
     return dirty;
@@ -84,11 +151,11 @@ MemorySystem::backInvalidate(Addr addr, u8 *data)
         }
         if (l1line) {
             l1line->valid = false;
-            ++hierStats.invalidationsSent;
+            ++ctr->invalidationsSent;
         }
         if (l2line) {
             l2line->valid = false;
-            ++hierStats.invalidationsSent;
+            ++ctr->invalidationsSent;
         }
     }
     directory.erase(addr);
@@ -166,7 +233,7 @@ MemorySystem::fetchIntoPrivate(CoreId core, Addr addr, bool for_write)
     if (it != directory.end() && it->second.owner >= 0 &&
         it->second.owner != static_cast<int>(core)) {
         const CoreId owner = static_cast<CoreId>(it->second.owner);
-        ++hierStats.remoteFetches;
+        ++ctr->remoteFetches;
         lat += cfg.remotePenalty;
 
         PrivateCache::Line *l1o = l1[owner]->find(addr);
@@ -215,11 +282,11 @@ MemorySystem::access(CoreId core, Addr addr, bool is_write, unsigned size,
     DOPP_ASSERT(size > 0 && size <= blockBytes);
     DOPP_ASSERT(blockAlign(addr) == blockAlign(addr + size - 1));
 
-    ++hierStats.accesses;
+    ++ctr->accesses;
     if (is_write)
-        ++hierStats.stores;
+        ++ctr->stores;
     else
-        ++hierStats.loads;
+        ++ctr->loads;
 
     const Addr baddr = blockAlign(addr);
     const unsigned off = blockOffset(addr);
@@ -229,22 +296,22 @@ MemorySystem::access(CoreId core, Addr addr, bool is_write, unsigned size,
 
     PrivateCache::Line *line = l1[core]->find(baddr);
     if (line) {
-        ++hierStats.l1Hits;
+        ++ctr->l1Hits;
         l1[core]->touch(baddr);
     } else {
         ++l1[core]->misses;
-        ++hierStats.l1Misses;
+        ++ctr->l1Misses;
         lat += cfg.l2Latency;
         ++l2[core]->accesses;
 
         PrivateCache::Line *l2line = l2[core]->find(baddr);
         if (l2line) {
-            ++hierStats.l2Hits;
+            ++ctr->l2Hits;
             l2[core]->touch(baddr);
             line = &fillPrivate(core, baddr, l2line->data.data());
         } else {
             ++l2[core]->misses;
-            ++hierStats.l2Misses;
+            ++ctr->l2Misses;
             lat += fetchIntoPrivate(core, baddr, is_write);
             line = l1[core]->find(baddr);
             DOPP_ASSERT(line);
@@ -256,7 +323,7 @@ MemorySystem::access(CoreId core, Addr addr, bool is_write, unsigned size,
         de.sharers |= static_cast<u8>(1u << core);
         if (de.owner != static_cast<int>(core)) {
             // Upgrade: obtain ownership via the directory.
-            ++hierStats.upgrades;
+            ++ctr->upgrades;
             lat += cfg.remotePenalty;
             BlockData merged;
             if (invalidateOthers(baddr, static_cast<int>(core),

@@ -72,6 +72,29 @@ struct HierarchyStats
     }
 };
 
+/** Registry-backed hierarchy counters (one instance per run). */
+struct HierCounters
+{
+    explicit HierCounters(StatGroup group);
+
+    Counter &accesses;
+    Counter &loads;
+    Counter &stores;
+    Counter &l1Hits;
+    Counter &l1Misses;
+    Counter &l2Hits;
+    Counter &l2Misses;
+    Counter &upgrades;
+    Counter &remoteFetches;
+    Counter &invalidationsSent;
+
+    /** Compatibility view: HierarchyStats snapshot of the counters. */
+    HierarchyStats view() const;
+
+    /** Zero every counter. */
+    void reset();
+};
+
 /**
  * The memory system: cores call access(); the harness wires an LLC and
  * a MainMemory in.
@@ -83,9 +106,14 @@ class MemorySystem
      * @param config private-level geometry and latencies
      * @param llc the shared LLC organization (not owned)
      * @param memory backing store (not owned)
+     * @param stat_registry per-run registry the hierarchy registers
+     *        its counters into; nullptr keeps a private registry
+     * @param stat_group dotted group path for hierarchy counters
      */
     MemorySystem(const HierarchyConfig &config, LastLevelCache &llc,
-                 MainMemory &memory);
+                 MainMemory &memory,
+                 StatRegistry *stat_registry = nullptr,
+                 const std::string &stat_group = "hierarchy");
 
     MemorySystem(const MemorySystem &) = delete;
     MemorySystem &operator=(const MemorySystem &) = delete;
@@ -110,11 +138,16 @@ class MemorySystem
      */
     void drain();
 
-    /** Per-run statistics. */
-    const HierarchyStats &stats() const { return hierStats; }
+    /** Per-run statistics (compatibility view of the registry). */
+    const HierarchyStats &
+    stats() const
+    {
+        statsView = ctr->view();
+        return statsView;
+    }
 
     /** Zero hierarchy statistics (cache contents untouched). */
-    void resetStats() { hierStats = HierarchyStats(); }
+    void resetStats() { ctr->reset(); }
 
     /** Per-core private cache access counts, for hierarchy energy. */
     u64 l1Accesses() const;
@@ -167,7 +200,9 @@ class MemorySystem
     std::vector<std::unique_ptr<PrivateCache>> l1;
     std::vector<std::unique_ptr<PrivateCache>> l2;
     std::unordered_map<Addr, DirEntry> directory;
-    HierarchyStats hierStats;
+    std::unique_ptr<StatRegistry> ownedStats; ///< when none is passed
+    std::unique_ptr<HierCounters> ctr;
+    mutable HierarchyStats statsView; ///< storage behind stats()
 };
 
 } // namespace dopp

@@ -14,7 +14,9 @@ namespace
 {
 
 #define DOPP_STAT_FIELD(member)                                         \
-    LlcStatField{#member, [](LlcStats &s) -> u64 & { return s.member; }}
+    LlcStatField{#member,                                               \
+                 [](const LlcStats &s) -> u64 { return s.member; },     \
+                 [](LlcStats &s) -> u64 & { return s.member; }}
 
 constexpr std::array statFieldTable = {
     DOPP_STAT_FIELD(fetches),
@@ -62,11 +64,141 @@ llcStatFields()
     return fields;
 }
 
+ArrayCounterRefs::ArrayCounterRefs(StatGroup g)
+    : reads(g.counter("reads")), writes(g.counter("writes"))
+{
+}
+
+LlcCounters::LlcCounters(StatGroup g)
+    : fetches(g.counter("fetches",
+                        "demand fetches from private L2 misses")),
+      fetchHits(g.counter("fetchHits", "fetches that hit a tag entry")),
+      fetchMisses(g.counter("fetchMisses",
+                            "fetches that went to memory")),
+      writebacksIn(g.counter("writebacksIn",
+                             "dirty writebacks arriving from L2s")),
+      evictions(g.counter("evictions", "tag entries evicted")),
+      dataEvictions(g.counter("dataEvictions",
+                              "data entries evicted (decoupled LLCs)")),
+      dirtyWritebacks(g.counter("dirtyWritebacks",
+                                "blocks written back to memory")),
+      backInvalidations(g.counter(
+          "backInvalidations", "inclusive invalidations sent upward")),
+      tagArray(g.group("tagArray")),
+      mtagArray(g.group("mtagArray")),
+      dataArray(g.group("dataArray")),
+      mapGens(g.counter("mapGens",
+                        "map generations (168 pJ each, Sec 5.6)")),
+      linkedTagsSum(g.counter("linkedTagsSum",
+                              "sum of tags linked at data-evict time")),
+      linkedTagsSamples(g.counter("linkedTagsSamples",
+                                  "data evictions sampled for "
+                                  "linked-tag stats")),
+      faultsInjected(g.counter("faultsInjected",
+                               "bit flips applied to this LLC")),
+      faultsDetected(g.counter("faultsDetected",
+                               "metadata corruptions self-check "
+                               "caught")),
+      faultsRepaired(g.counter("faultsRepaired",
+                               "repair passes that restored "
+                               "invariants")),
+      repairTagsDropped(g.counter("repairTagsDropped",
+                                  "tags invalidated to restore "
+                                  "invariants")),
+      repairEntriesDropped(g.counter("repairEntriesDropped",
+                                     "data entries orphaned and "
+                                     "invalidated")),
+      degradedFills(g.counter("degradedFills",
+                              "approx fills routed precise by the "
+                              "guardrail"))
+{
+}
+
+LlcStats
+LlcCounters::view() const
+{
+    LlcStats s;
+    s.fetches = fetches.value();
+    s.fetchHits = fetchHits.value();
+    s.fetchMisses = fetchMisses.value();
+    s.writebacksIn = writebacksIn.value();
+    s.evictions = evictions.value();
+    s.dataEvictions = dataEvictions.value();
+    s.dirtyWritebacks = dirtyWritebacks.value();
+    s.backInvalidations = backInvalidations.value();
+    s.tagArray.reads = tagArray.reads.value();
+    s.tagArray.writes = tagArray.writes.value();
+    s.mtagArray.reads = mtagArray.reads.value();
+    s.mtagArray.writes = mtagArray.writes.value();
+    s.dataArray.reads = dataArray.reads.value();
+    s.dataArray.writes = dataArray.writes.value();
+    s.mapGens = mapGens.value();
+    s.linkedTagsSum = linkedTagsSum.value();
+    s.linkedTagsSamples = linkedTagsSamples.value();
+    s.faultsInjected = faultsInjected.value();
+    s.faultsDetected = faultsDetected.value();
+    s.faultsRepaired = faultsRepaired.value();
+    s.repairTagsDropped = repairTagsDropped.value();
+    s.repairEntriesDropped = repairEntriesDropped.value();
+    s.degradedFills = degradedFills.value();
+    return s;
+}
+
+void
+LlcCounters::reset()
+{
+    fetches.reset();
+    fetchHits.reset();
+    fetchMisses.reset();
+    writebacksIn.reset();
+    evictions.reset();
+    dataEvictions.reset();
+    dirtyWritebacks.reset();
+    backInvalidations.reset();
+    tagArray.reads.reset();
+    tagArray.writes.reset();
+    mtagArray.reads.reset();
+    mtagArray.writes.reset();
+    dataArray.reads.reset();
+    dataArray.writes.reset();
+    mapGens.reset();
+    linkedTagsSum.reset();
+    linkedTagsSamples.reset();
+    faultsInjected.reset();
+    faultsDetected.reset();
+    faultsRepaired.reset();
+    repairTagsDropped.reset();
+    repairEntriesDropped.reset();
+    degradedFills.reset();
+}
+
+void
+registerLlcStatsView(StatGroup group, std::function<LlcStats()> view)
+{
+    for (const LlcStatField &f : llcStatFields()) {
+        group.counterFn(f.name,
+                        [view, get = f.get] { return get(view()); });
+    }
+    registerLlcFormulas(group, std::move(view));
+}
+
+void
+registerLlcFormulas(StatGroup group, std::function<LlcStats()> view)
+{
+    group.formula("missRate", [view] { return view().missRate(); },
+                  "fetchMisses / fetches");
+    group.formula("avgLinkedTags",
+                  [view] { return view().avgLinkedTags(); },
+                  "mean tags linked per evicted data entry");
+}
+
 ConventionalLlc::ConventionalLlc(MainMemory &memory, u64 size_bytes,
                                  u32 num_ways, Tick latency,
                                  const ApproxRegistry *registry,
-                                 ReplPolicy policy)
-    : LastLevelCache(memory),
+                                 ReplPolicy policy,
+                                 StatRegistry *stat_registry,
+                                 const std::string &stat_group)
+    : LastLevelCache(memory, stat_registry, stat_group),
       array(static_cast<u32>(size_bytes / blockBytes / num_ways),
             num_ways, policy),
       slicer(static_cast<u32>(size_bytes / blockBytes / num_ways)),
@@ -76,6 +208,7 @@ ConventionalLlc::ConventionalLlc(MainMemory &memory, u64 size_bytes,
     if (size_bytes % (static_cast<u64>(num_ways) * blockBytes) != 0)
         fatal("LLC size %llu not divisible by ways*blockBytes",
               static_cast<unsigned long long>(size_bytes));
+    initLlcCounters();
 }
 
 void
@@ -86,7 +219,7 @@ ConventionalLlc::evictLine(u32 set, u32 way)
         return;
 
     const Addr addr = slicer.addr(set, line.tag);
-    ++llcStats.evictions;
+    ++ctr->evictions;
 
     // Inclusive LLC: invalidate private copies; a dirty private copy
     // supersedes our data for the writeback.
@@ -94,11 +227,11 @@ ConventionalLlc::evictLine(u32 set, u32 way)
     const bool upwardDirty = invalidateUpward(addr, upward.data());
     if (upwardDirty) {
         mem.writeBlock(addr, upward.data());
-        ++llcStats.dirtyWritebacks;
+        ++ctr->dirtyWritebacks;
     } else if (line.dirty) {
-        ++llcStats.dataArray.reads;
+        ++ctr->dataArray.reads;
         mem.writeBlock(addr, line.data.data());
-        ++llcStats.dirtyWritebacks;
+        ++ctr->dirtyWritebacks;
     }
     line.valid = false;
 }
@@ -138,7 +271,7 @@ ConventionalLlc::maybeInjectFault()
         blockElement(line.data.data(), region->type, elem);
 
     faults->record(FaultDomain::LlcData, slot, 0, bit);
-    ++llcStats.faultsInjected;
+    ++ctr->faultsInjected;
     if (guardrail) {
         // The flipped element's own capped error (not the block mean):
         // its consumer sees the full deviation.
@@ -152,16 +285,16 @@ LastLevelCache::FetchResult
 ConventionalLlc::fetch(Addr addr, u8 *data)
 {
     maybeInjectFault();
-    ++llcStats.fetches;
-    ++llcStats.tagArray.reads;
+    ++ctr->fetches;
+    ++ctr->tagArray.reads;
 
     const u32 set = slicer.set(addr);
     const u64 tag = slicer.tag(addr);
 
     const int way = array.findWay(set, tag);
     if (way >= 0) {
-        ++llcStats.fetchHits;
-        ++llcStats.dataArray.reads;
+        ++ctr->fetchHits;
+        ++ctr->dataArray.reads;
         array.touch(set, static_cast<u32>(way));
         std::memcpy(data, array.at(set, static_cast<u32>(way)).data.data(),
                     blockBytes);
@@ -169,7 +302,7 @@ ConventionalLlc::fetch(Addr addr, u8 *data)
     }
 
     // Miss: fetch from memory and insert.
-    ++llcStats.fetchMisses;
+    ++ctr->fetchMisses;
     const u32 victim = array.victimWay(set);
     evictLine(set, victim);
 
@@ -179,8 +312,8 @@ ConventionalLlc::fetch(Addr addr, u8 *data)
     line.tag = tag;
     line.dirty = false;
     array.touchInsert(set, victim);
-    ++llcStats.tagArray.writes;
-    ++llcStats.dataArray.writes;
+    ++ctr->tagArray.writes;
+    ++ctr->dataArray.writes;
 
     std::memcpy(data, line.data.data(), blockBytes);
     return {false, hitLatency + mem.latency()};
@@ -190,8 +323,8 @@ void
 ConventionalLlc::writeback(Addr addr, const u8 *data)
 {
     maybeInjectFault();
-    ++llcStats.writebacksIn;
-    ++llcStats.tagArray.reads;
+    ++ctr->writebacksIn;
+    ++ctr->tagArray.reads;
 
     const u32 set = slicer.set(addr);
     const u64 tag = slicer.tag(addr);
@@ -202,14 +335,14 @@ ConventionalLlc::writeback(Addr addr, const u8 *data)
         std::memcpy(line.data.data(), data, blockBytes);
         line.dirty = true;
         array.touch(set, static_cast<u32>(way));
-        ++llcStats.dataArray.writes;
+        ++ctr->dataArray.writes;
         return;
     }
 
     // No tag (should not happen with strict inclusion); send straight
     // to memory rather than disturbing the set.
     mem.writeBlock(addr, data);
-    ++llcStats.dirtyWritebacks;
+    ++ctr->dirtyWritebacks;
 }
 
 bool

@@ -17,11 +17,14 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "fault/fault_injector.hh"
 #include "fault/qor_guardrail.hh"
 #include "sim/approx.hh"
 #include "sim/memory.hh"
 #include "sim/set_assoc.hh"
+#include "util/stats.hh"
 #include "util/types.hh"
 
 namespace dopp
@@ -88,26 +91,97 @@ struct LlcStats
 };
 
 /**
- * Name + accessor for one LlcStats counter. The canonical field list
+ * Name + accessors for one LlcStats counter. The canonical field list
  * (llcStatFields) is the single place that enumerates the struct, so
- * field-wise aggregation (split-LLC stats summing) can never silently
- * miss a counter: a static_assert in llc.cc ties the list length to
- * sizeof(LlcStats).
+ * field-wise aggregation (split-LLC stats summing) and the registry
+ * compatibility view can never silently miss a counter: a
+ * static_assert in llc.cc ties the list length to sizeof(LlcStats).
+ * Field names use the registry's dotted convention ("tagArray.reads"),
+ * so a view registered under group "llc" exports as
+ * "llc.tagArray.reads".
  */
 struct LlcStatField
 {
     const char *name;
-    u64 &(*ref)(LlcStats &);
+    u64 (*get)(const LlcStats &); ///< const read of the field
+    u64 &(*ref)(LlcStats &);      ///< mutable field reference
 
-    u64
-    value(const LlcStats &s) const
-    {
-        return ref(const_cast<LlcStats &>(s));
-    }
+    u64 value(const LlcStats &s) const { return get(s); }
 };
 
 /** Every u64 counter of LlcStats, in declaration order. */
 const std::vector<LlcStatField> &llcStatFields();
+
+/** Read/write access counter handles for one SRAM structure. */
+struct ArrayCounterRefs
+{
+    explicit ArrayCounterRefs(StatGroup g);
+
+    Counter &reads;
+    Counter &writes;
+};
+
+/**
+ * Registry-backed counter handles mirroring LlcStats field-for-field:
+ * one Counter per u64 in the struct, registered under one stat group
+ * at construction. LLC hot paths bump these handles; LlcStats itself
+ * is reduced to the *compatibility view* view() produces for
+ * aggregation, reports and the energy model's struct-based overloads.
+ * A unit test pins the registered names against llcStatFields(), so
+ * the view and the registry schema cannot drift apart.
+ */
+struct LlcCounters
+{
+    explicit LlcCounters(StatGroup g);
+
+    Counter &fetches;
+    Counter &fetchHits;
+    Counter &fetchMisses;
+    Counter &writebacksIn;
+
+    Counter &evictions;
+    Counter &dataEvictions;
+    Counter &dirtyWritebacks;
+    Counter &backInvalidations;
+
+    ArrayCounterRefs tagArray;
+    ArrayCounterRefs mtagArray;
+    ArrayCounterRefs dataArray;
+
+    Counter &mapGens;
+
+    Counter &linkedTagsSum;
+    Counter &linkedTagsSamples;
+
+    Counter &faultsInjected;
+    Counter &faultsDetected;
+    Counter &faultsRepaired;
+    Counter &repairTagsDropped;
+    Counter &repairEntriesDropped;
+    Counter &degradedFills;
+
+    /** Compatibility view: LlcStats snapshot of the counters. */
+    LlcStats view() const;
+
+    /** Zero every counter. */
+    void reset();
+};
+
+/**
+ * Register a derived LlcStats-shaped family under @p group: one
+ * integral stat per llcStatFields() entry plus the missRate and
+ * avgLinkedTags formulas, all computed from @p view at snapshot time.
+ * Used for aggregate "llc.*" stats of organizations whose own
+ * counters live in subgroups (split halves, uniDoppelgänger).
+ */
+void registerLlcStatsView(StatGroup group,
+                          std::function<LlcStats()> view);
+
+/** Register only the derived formulas (missRate, avgLinkedTags) of
+ * @p view under @p group — for organizations whose counters already
+ * live directly under @p group. */
+void registerLlcFormulas(StatGroup group,
+                         std::function<LlcStats()> view);
 
 /** Snapshot of one logical block resident in the LLC. */
 struct LlcBlockInfo
@@ -137,7 +211,23 @@ class LastLevelCache
         Tick latency = 0;  ///< cycles beyond the L2 (probe + memory)
     };
 
-    explicit LastLevelCache(MainMemory &memory) : mem(memory) {}
+    /**
+     * @param memory backing store
+     * @param stat_registry per-run registry this LLC registers its
+     *        counters into; nullptr makes the LLC own a private one
+     *        (standalone/unit-test construction)
+     * @param stat_group dotted group path for this LLC's counters
+     */
+    LastLevelCache(MainMemory &memory, StatRegistry *stat_registry,
+                   std::string stat_group)
+        : mem(memory),
+          ownedStats(stat_registry ? nullptr
+                                   : std::make_unique<StatRegistry>()),
+          statsReg(stat_registry ? stat_registry : ownedStats.get()),
+          statPath(std::move(stat_group))
+    {
+    }
+
     virtual ~LastLevelCache() = default;
 
     LastLevelCache(const LastLevelCache &) = delete;
@@ -188,11 +278,33 @@ class LastLevelCache
      */
     virtual void setGuardrail(QorGuardrail *g) { guardrail = g; }
 
-    /** Accumulated statistics. */
-    virtual const LlcStats &stats() const { return llcStats; }
+    /**
+     * Accumulated statistics, as the LlcStats compatibility view of
+     * this organization's registry counters. The reference stays
+     * valid for the cache's lifetime and is refreshed on every call.
+     */
+    virtual const LlcStats &
+    stats() const
+    {
+        if (ctr)
+            statsView = ctr->view();
+        return statsView;
+    }
 
     /** Zero the statistics (cache contents untouched). */
-    virtual void resetStats() { llcStats = LlcStats(); }
+    virtual void
+    resetStats()
+    {
+        if (ctr)
+            ctr->reset();
+    }
+
+    /** Registry this LLC's counters are registered in (the per-run
+     * registry, or the private one of standalone construction). */
+    StatRegistry &statRegistry() const { return *statsReg; }
+
+    /** Dotted group path this LLC's counters live under. */
+    const std::string &statGroupPath() const { return statPath; }
 
   protected:
     /**
@@ -202,16 +314,35 @@ class LastLevelCache
     bool
     invalidateUpward(Addr addr, u8 *data)
     {
-        ++llcStats.backInvalidations;
+        ++ctr->backInvalidations;
         return backInvalidate ? backInvalidate(addr, data) : false;
     }
 
+    /**
+     * Create this organization's LlcCounters under the stat group.
+     * Concrete organizations that count events call this exactly once
+     * in their constructor; pure containers (split, dedup) skip it
+     * and override stats()/resetStats() instead.
+     */
+    void
+    initLlcCounters()
+    {
+        ctr = std::make_unique<LlcCounters>(statsReg->group(statPath));
+    }
+
+    /** Group handle under this LLC's stat path. */
+    StatGroup statGroup() const { return statsReg->group(statPath); }
+
     MainMemory &mem;
-    LlcStats llcStats;
+    std::unique_ptr<LlcCounters> ctr; ///< set by initLlcCounters()
     FaultInjector *faults = nullptr;
     QorGuardrail *guardrail = nullptr;
+    mutable LlcStats statsView; ///< storage behind stats()
 
   private:
+    std::unique_ptr<StatRegistry> ownedStats;
+    StatRegistry *statsReg;
+    std::string statPath;
     BackInvalidateFn backInvalidate;
 };
 
@@ -230,10 +361,15 @@ class ConventionalLlc : public LastLevelCache
      * @param latency total hit latency in cycles
      * @param registry annotation registry (for snapshot labeling only);
      *                 may be nullptr
+     * @param policy replacement policy
+     * @param stat_registry per-run stat registry (nullptr: private)
+     * @param stat_group group path for this cache's counters
      */
     ConventionalLlc(MainMemory &memory, u64 size_bytes, u32 num_ways,
                     Tick latency, const ApproxRegistry *registry,
-                    ReplPolicy policy = ReplPolicy::LRU);
+                    ReplPolicy policy = ReplPolicy::LRU,
+                    StatRegistry *stat_registry = nullptr,
+                    const std::string &stat_group = "llc");
 
     FetchResult fetch(Addr addr, u8 *data) override;
     void writeback(Addr addr, const u8 *data) override;

@@ -17,6 +17,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "util/stats.hh"
 #include "util/types.hh"
 
 namespace dopp
@@ -112,6 +113,26 @@ class MainMemory
 
     /** Total off-chip block transfers. */
     u64 traffic() const { return demandReads + writebacks; }
+
+    /**
+     * Expose the traffic counters under @p group (counter functions
+     * over the existing members, so readBlock/writeBlock keep their
+     * header-only hot path). The memory must outlive the registry's
+     * snapshots.
+     */
+    void
+    registerStats(StatGroup group)
+    {
+        group.counterFn(
+            "reads", [this] { return reads(); },
+            "demand block reads from memory");
+        group.counterFn(
+            "writes", [this] { return writes(); },
+            "block writebacks to memory");
+        group.counterFn(
+            "traffic", [this] { return traffic(); },
+            "total off-chip block transfers");
+    }
 
     /** Zero the traffic counters (not the contents). */
     void

@@ -1,0 +1,354 @@
+#include "stats.hh"
+
+#include <charconv>
+#include <cstring>
+
+#include "logging.hh"
+
+namespace dopp
+{
+
+namespace
+{
+
+/** Shortest-round-trip decimal form of @p x (std::to_chars). */
+std::string
+formatDouble(double x)
+{
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), x);
+    return std::string(buf, res.ptr);
+}
+
+/** Append @p value to @p out in its native formatting. */
+void
+appendValue(std::string &out, const StatValue &v)
+{
+    if (v.integral)
+        out += std::to_string(v.u);
+    else
+        out += formatDouble(v.d);
+}
+
+} // namespace
+
+std::string
+StatValue::str() const
+{
+    return integral ? std::to_string(u) : formatDouble(d);
+}
+
+// ---------------------------------------------------------------------
+// StatSnapshot
+// ---------------------------------------------------------------------
+
+bool
+StatSnapshot::has(const std::string &name) const
+{
+    for (const StatValue &v : entries) {
+        if (v.name == name)
+            return true;
+    }
+    return false;
+}
+
+double
+StatSnapshot::value(const std::string &name) const
+{
+    for (const StatValue &v : entries) {
+        if (v.name == name)
+            return v.asDouble();
+    }
+    fatal("stat snapshot has no entry named '%s'", name.c_str());
+    return 0.0;
+}
+
+u64
+StatSnapshot::counter(const std::string &name) const
+{
+    for (const StatValue &v : entries) {
+        if (v.name == name) {
+            if (!v.integral) {
+                fatal("stat '%s' is real-valued, not a counter",
+                      name.c_str());
+            }
+            return v.u;
+        }
+    }
+    fatal("stat snapshot has no entry named '%s'", name.c_str());
+    return 0;
+}
+
+StatSnapshot
+StatSnapshot::delta(const StatSnapshot &earlier) const
+{
+    // Name-index the earlier snapshot once; intervals are typically
+    // same-schema, but a mid-interval registration must not throw.
+    std::unordered_map<std::string, const StatValue *> prev;
+    prev.reserve(earlier.entries.size());
+    for (const StatValue &v : earlier.entries)
+        prev.emplace(v.name, &v);
+
+    StatSnapshot out;
+    out.entries.reserve(entries.size());
+    for (const StatValue &v : entries) {
+        StatValue d = v;
+        auto it = prev.find(v.name);
+        if (it != prev.end() && it->second->integral == v.integral) {
+            if (v.integral) {
+                const u64 before = it->second->u;
+                d.u = v.u >= before ? v.u - before : 0;
+            } else {
+                d.d = v.d - it->second->d;
+            }
+        }
+        out.entries.push_back(std::move(d));
+    }
+    return out;
+}
+
+std::string
+StatSnapshot::json() const
+{
+    // Dotted names form a tree; emit nested objects in
+    // first-appearance order without materializing a tree structure:
+    // track the currently open path and close/open the difference at
+    // each entry. Registration groups stats contiguously, so this
+    // produces one object per group.
+    std::string out = "{";
+    std::vector<std::string> open; // currently open object path
+
+    auto splitName = [](const std::string &name) {
+        std::vector<std::string> parts;
+        size_t start = 0;
+        for (size_t i = 0; i <= name.size(); ++i) {
+            if (i == name.size() || name[i] == '.') {
+                parts.push_back(name.substr(start, i - start));
+                start = i + 1;
+            }
+        }
+        return parts;
+    };
+
+    bool first = true;
+    for (const StatValue &v : entries) {
+        std::vector<std::string> parts = splitName(v.name);
+        // parts[0..n-2] are groups, parts[n-1] the leaf key.
+        const size_t groups = parts.size() - 1;
+        size_t common = 0;
+        while (common < open.size() && common < groups &&
+               open[common] == parts[common]) {
+            ++common;
+        }
+        for (size_t i = open.size(); i > common; --i)
+            out += '}';
+        open.resize(common);
+        if (!first)
+            out += ',';
+        first = false;
+        for (size_t i = common; i < groups; ++i) {
+            out += '"';
+            out += parts[i];
+            out += "\":{";
+            open.push_back(parts[i]);
+        }
+        out += '"';
+        out += parts.back();
+        out += "\":";
+        appendValue(out, v);
+    }
+    for (size_t i = open.size(); i > 0; --i)
+        out += '}';
+    out += '}';
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// StatGroup
+// ---------------------------------------------------------------------
+
+std::string
+StatGroup::fullName(const std::string &name) const
+{
+    if (name.empty())
+        fatal("stat registered with an empty name under group '%s'",
+              prefix.c_str());
+    return prefix.empty() ? name : prefix + "." + name;
+}
+
+StatGroup
+StatGroup::group(const std::string &name) const
+{
+    return StatGroup(*reg, fullName(name));
+}
+
+Counter &
+StatGroup::counter(const std::string &name, const std::string &desc)
+{
+    return reg->addCounter(fullName(name), desc);
+}
+
+Distribution &
+StatGroup::distribution(const std::string &name, const std::string &desc)
+{
+    return reg->addDistribution(fullName(name), desc);
+}
+
+void
+StatGroup::counterFn(const std::string &name, std::function<u64()> fn,
+                     const std::string &desc)
+{
+    reg->addCounterFn(fullName(name), std::move(fn), desc);
+}
+
+void
+StatGroup::formula(const std::string &name, std::function<double()> fn,
+                   const std::string &desc)
+{
+    reg->addFormula(fullName(name), std::move(fn), desc);
+}
+
+// ---------------------------------------------------------------------
+// StatRegistry
+// ---------------------------------------------------------------------
+
+StatRegistry::Node &
+StatRegistry::addNode(const std::string &full_name,
+                      const std::string &desc, Kind kind)
+{
+    if (full_name.empty())
+        fatal("stat registered with an empty name");
+    auto [it, inserted] = byName.emplace(full_name, nodes.size());
+    if (!inserted) {
+        fatal("stat '%s' registered twice (group paths must be "
+              "unique per run)", full_name.c_str());
+    }
+    nodes.emplace_back();
+    Node &n = nodes.back();
+    n.name = full_name;
+    n.desc = desc;
+    n.kind = kind;
+    return n;
+}
+
+Counter &
+StatRegistry::addCounter(const std::string &full_name,
+                         const std::string &desc)
+{
+    return addNode(full_name, desc, Kind::Counter).counter;
+}
+
+Distribution &
+StatRegistry::addDistribution(const std::string &full_name,
+                              const std::string &desc)
+{
+    return addNode(full_name, desc, Kind::Distribution).dist;
+}
+
+void
+StatRegistry::addCounterFn(const std::string &full_name,
+                           std::function<u64()> fn,
+                           const std::string &desc)
+{
+    if (!fn)
+        fatal("stat '%s': null counterFn", full_name.c_str());
+    addNode(full_name, desc, Kind::CounterFn).counterFn = std::move(fn);
+}
+
+void
+StatRegistry::addFormula(const std::string &full_name,
+                         std::function<double()> fn,
+                         const std::string &desc)
+{
+    if (!fn)
+        fatal("stat '%s': null formula", full_name.c_str());
+    addNode(full_name, desc, Kind::Formula).formula = std::move(fn);
+}
+
+bool
+StatRegistry::contains(const std::string &full_name) const
+{
+    return byName.find(full_name) != byName.end();
+}
+
+std::string
+StatRegistry::description(const std::string &full_name) const
+{
+    auto it = byName.find(full_name);
+    return it == byName.end() ? std::string() : nodes[it->second].desc;
+}
+
+std::vector<std::string>
+StatRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(nodes.size());
+    for (const Node &n : nodes) {
+        if (n.kind == Kind::Distribution) {
+            out.push_back(n.name + ".count");
+            out.push_back(n.name + ".mean");
+            out.push_back(n.name + ".min");
+            out.push_back(n.name + ".max");
+        } else {
+            out.push_back(n.name);
+        }
+    }
+    return out;
+}
+
+StatSnapshot
+StatRegistry::snapshot() const
+{
+    StatSnapshot snap;
+    snap.entries.reserve(nodes.size());
+    for (const Node &n : nodes) {
+        switch (n.kind) {
+          case Kind::Counter:
+            snap.entries.push_back(
+                {n.name, true, n.counter.value(), 0.0});
+            break;
+          case Kind::CounterFn:
+            snap.entries.push_back({n.name, true, n.counterFn(), 0.0});
+            break;
+          case Kind::Formula:
+            snap.entries.push_back({n.name, false, 0, n.formula()});
+            break;
+          case Kind::Distribution:
+            snap.entries.push_back(
+                {n.name + ".count", true, n.dist.count(), 0.0});
+            snap.entries.push_back(
+                {n.name + ".mean", false, 0, n.dist.mean()});
+            snap.entries.push_back(
+                {n.name + ".min", false, 0, n.dist.min()});
+            snap.entries.push_back(
+                {n.name + ".max", false, 0, n.dist.max()});
+            break;
+        }
+    }
+    return snap;
+}
+
+void
+StatRegistry::reset(const std::string &prefix)
+{
+    for (Node &n : nodes) {
+        if (!prefix.empty()) {
+            // Prefix match on whole group components: "llc" resets
+            // "llc.fetches" but not "llcx.fetches".
+            if (n.name.size() < prefix.size() ||
+                n.name.compare(0, prefix.size(), prefix) != 0) {
+                continue;
+            }
+            if (n.name.size() > prefix.size() &&
+                n.name[prefix.size()] != '.') {
+                continue;
+            }
+        }
+        if (n.kind == Kind::Counter)
+            n.counter.reset();
+        else if (n.kind == Kind::Distribution)
+            n.dist.reset();
+    }
+}
+
+} // namespace dopp

@@ -175,7 +175,7 @@ TEST(Harness, ScaleFromEnvDefaultsToOne)
 TEST(ResultsIo, CsvRowMatchesHeaderArity)
 {
     const RunResult r = runWorkload("kmeans", tinyRun(LlcKind::Baseline));
-    const std::string header = runResultCsvHeader();
+    const std::string header = runResultCsvHeader(r);
     const std::string row = runResultCsvRow(r);
     const auto commas = [](const std::string &s) {
         return std::count(s.begin(), s.end(), ',');
@@ -192,7 +192,7 @@ TEST(ResultsIo, CsvContainsKeyCounters)
     std::ostringstream expect;
     expect << r.runtime;
     EXPECT_NE(row.find(expect.str()), std::string::npos);
-    EXPECT_NE(runResultCsvHeader().find("map_gens"),
+    EXPECT_NE(runResultCsvHeader(r).find("llc.dopp.mapGens"),
               std::string::npos);
 }
 
@@ -218,7 +218,7 @@ TEST(ResultsIo, JsonIsWellFormedEnough)
     EXPECT_EQ(json.front(), '{');
     EXPECT_EQ(json.back(), '}');
     EXPECT_NE(json.find("\"workload\":\"kmeans\""), std::string::npos);
-    EXPECT_NE(json.find("\"llc_misses\":"), std::string::npos);
+    EXPECT_NE(json.find("\"fetchMisses\":"), std::string::npos);
     // Balanced quotes.
     EXPECT_EQ(std::count(json.begin(), json.end(), '"') % 2, 0);
 }
@@ -273,13 +273,13 @@ TEST(ResultsIo, LoadCsvRoundTrips)
     ASSERT_EQ(rows.size(), 1u);
     EXPECT_EQ(rows[0].workload, "blackscholes");
     EXPECT_EQ(rows[0].organization, r.organization);
-    EXPECT_EQ(rows[0].value("runtime_cycles"),
+    EXPECT_EQ(rows[0].value("run.runtimeCycles"),
               static_cast<double>(r.runtime));
-    EXPECT_EQ(rows[0].value("llc_fetches"),
+    EXPECT_EQ(rows[0].value("llc.fetches"),
               static_cast<double>(r.llc.fetches));
-    EXPECT_EQ(rows[0].value("llc_faults_injected"),
+    EXPECT_EQ(rows[0].value("llc.faultsInjected"),
               static_cast<double>(r.llc.faultsInjected));
-    EXPECT_EQ(rows[0].value("faults_repaired"),
+    EXPECT_EQ(rows[0].value("llc.faultsRepaired"),
               static_cast<double>(r.llc.faultsRepaired));
 }
 
