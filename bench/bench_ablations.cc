@@ -46,7 +46,7 @@ runSuite(const std::string &title, const std::vector<Variant> &variants)
             configs.push_back(std::move(cfg));
         }
     }
-    const std::vector<RunResult> results = runBatchWithProgress(configs);
+    const std::vector<RunResult> results = runCampaign(configs);
 
     TextTable table;
     {
@@ -134,7 +134,7 @@ main()
             configs.push_back(std::move(cfg));
         }
         const std::vector<RunResult> results =
-            runBatchWithProgress(configs);
+            runCampaign(configs);
         const RunResult &baseline = results[0];
 
         TextTable table;

@@ -106,7 +106,7 @@ main()
             configs.push_back(std::move(cfg));
         }
     }
-    const std::vector<RunResult> results = runBatchWithProgress(configs);
+    const std::vector<RunResult> results = runCampaign(configs);
 
     TextTable err;
     err.header({"benchmark", "organization", "err @1e-4", "err @1e-3",

@@ -41,7 +41,7 @@ main()
         };
         configs.push_back(std::move(cfg));
     }
-    runBatchWithProgress(configs);
+    runCampaign(configs);
 
     TextTable table;
     {

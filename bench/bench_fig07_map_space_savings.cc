@@ -39,7 +39,7 @@ main()
         };
         configs.push_back(std::move(cfg));
     }
-    runBatchWithProgress(configs);
+    runCampaign(configs);
 
     TextTable table;
     table.header({"benchmark", "12-bit map", "13-bit map", "14-bit map"});

@@ -38,7 +38,7 @@ main()
         };
         configs.push_back(std::move(cfg));
     }
-    runBatchWithProgress(configs);
+    runCampaign(configs);
 
     TextTable table;
     table.header({"benchmark", "BdI", "exact dedup", "14-bit Dopp",

@@ -36,7 +36,7 @@ main()
             configs.push_back(std::move(cfg));
         }
     }
-    const std::vector<RunResult> results = runBatchWithProgress(configs);
+    const std::vector<RunResult> results = runCampaign(configs);
 
     TextTable err;
     err.header({"benchmark", "error @12-bit", "error @13-bit",

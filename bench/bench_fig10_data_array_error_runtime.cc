@@ -34,7 +34,7 @@ main()
             configs.push_back(std::move(cfg));
         }
     }
-    const std::vector<RunResult> results = runBatchWithProgress(configs);
+    const std::vector<RunResult> results = runCampaign(configs);
 
     TextTable err;
     err.header({"benchmark", "error @1/2", "error @1/4", "error @1/8"});

@@ -37,7 +37,7 @@ main()
             configs.push_back(std::move(cfg));
         }
     }
-    const std::vector<RunResult> results = runBatchWithProgress(configs);
+    const std::vector<RunResult> results = runCampaign(configs);
 
     TextTable dyn;
     dyn.header({"benchmark", "dynamic @1/2", "dynamic @1/4",

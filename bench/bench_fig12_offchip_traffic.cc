@@ -31,7 +31,7 @@ main()
             configs.push_back(std::move(cfg));
         }
     }
-    const std::vector<RunResult> results = runBatchWithProgress(configs);
+    const std::vector<RunResult> results = runCampaign(configs);
 
     TextTable table;
     table.header({"benchmark", "traffic @1/2", "traffic @1/4",

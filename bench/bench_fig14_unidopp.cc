@@ -35,7 +35,7 @@ main()
             configs.push_back(std::move(cfg));
         }
     }
-    const std::vector<RunResult> results = runBatchWithProgress(configs);
+    const std::vector<RunResult> results = runCampaign(configs);
 
     TextTable err;
     err.header({"benchmark", "error @3/4", "error @1/2", "error @1/4"});

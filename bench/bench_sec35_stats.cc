@@ -23,7 +23,7 @@ main()
         cfg.kind = LlcKind::SplitDopp; // base config: 14-bit, 1/4
         configs.push_back(std::move(cfg));
     }
-    const std::vector<RunResult> results = runBatchWithProgress(configs);
+    const std::vector<RunResult> results = runCampaign(configs);
 
     TextTable table;
     table.header({"benchmark", "tags per data entry (resident)",

@@ -35,7 +35,7 @@ main()
         };
         configs.push_back(std::move(cfg));
     }
-    runBatchWithProgress(configs);
+    runCampaign(configs);
 
     TextTable table;
     table.header({"benchmark", "approx LLC blocks (measured)",

@@ -9,12 +9,20 @@
  *   DOPP_WORKLOAD_SCALE   input-size multiplier (default 1.0)
  *   DOPP_SNAPSHOT_PERIOD  accesses between LLC snapshots (default 400k)
  *   DOPP_SNAPSHOT_CAP     max blocks analysed per snapshot (default 6k)
+ *   DOPP_JOURNAL          checkpoint journal path; set it to make the
+ *                         sweep resumable (kill it, rerun the same
+ *                         command, completed runs are skipped)
+ *   DOPP_RUN_TIMEOUT_MS   per-run watchdog deadline (default: none)
+ *   DOPP_MAX_RETRIES      retries per run after a retryable failure
+ *                         (default 0)
  */
 
 #ifndef DOPP_BENCH_COMMON_HH
 #define DOPP_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -74,22 +82,60 @@ defaultConfig(const std::string &workload)
 }
 
 /**
- * Run @p configs through the batch runner (DOPP_JOBS-way parallel)
- * with a live progress line per finished run, and return the results
- * in submission order. Any failed run is fatal: bench sweeps have no
- * use for partial figures.
+ * Run @p configs through the resilient batch runner (DOPP_JOBS-way
+ * parallel) with a live progress line per finished run, and return
+ * the results in submission order.
+ *
+ * Resilience plumbing (harness/batch_runner.hh): when DOPP_JOURNAL is
+ * set the campaign checkpoints every completed run into that JSONL
+ * journal and skips fingerprint-matching completed runs on rerun;
+ * SIGINT/SIGTERM stop the sweep gracefully (in-flight runs finish,
+ * the journal is flushed) and print the resume recipe. Configs that
+ * carry observation hooks (onSnapshot/tracePath) always re-execute —
+ * a journal cannot replay their side effects. DOPP_RUN_TIMEOUT_MS
+ * arms a per-run watchdog and DOPP_MAX_RETRIES bounds retries.
+ *
+ * Any failed run is fatal: bench sweeps have no use for partial
+ * figures.
  */
 inline std::vector<RunResult>
-runBatchWithProgress(const std::vector<RunConfig> &configs)
+runCampaign(const std::vector<RunConfig> &configs)
 {
     BatchOptions opt;
+    opt.cancel = installBatchSignalHandler();
+    opt.runTimeoutMs = envU64("DOPP_RUN_TIMEOUT_MS", 0);
+    opt.maxRetries =
+        static_cast<unsigned>(envU64("DOPP_MAX_RETRIES", 0));
     opt.onProgress = [](const BatchProgress &p) {
-        std::fprintf(stderr, "[bench] %zu/%zu %s on %s%s\n",
+        std::fprintf(stderr, "[bench] %zu/%zu %s on %s%s%s\n",
                      p.completed, p.total, p.result.workload.c_str(),
                      p.result.organization.c_str(),
+                     p.resumed ? " (journal)" : "",
                      p.result.failed ? " FAILED" : "");
     };
-    std::vector<RunResult> results = runBatch(configs, opt);
+
+    const char *journal = std::getenv("DOPP_JOURNAL");
+    std::vector<RunResult> results;
+    if (journal && *journal) {
+        BatchOutcome out = runBatchResumable(configs, journal, opt);
+        if (out.interrupted) {
+            const size_t done = static_cast<size_t>(std::count_if(
+                out.results.begin(), out.results.end(),
+                [](const RunResult &r) { return !r.failed; }));
+            fatal("sweep interrupted: %zu/%zu runs completed and "
+                  "journaled; rerun the same command with "
+                  "DOPP_JOURNAL=%s to resume",
+                  done, configs.size(), journal);
+        }
+        results = std::move(out.results);
+    } else {
+        results = runBatch(configs, opt);
+        if (opt.cancel->load()) {
+            fatal("sweep interrupted (set DOPP_JOURNAL=<path> to "
+                  "make sweeps resumable)");
+        }
+    }
+
     for (const RunResult &r : results) {
         if (r.failed) {
             fatal("batch run %s on %s failed: %s", r.workload.c_str(),

@@ -14,3 +14,33 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
 echo "ci: configure + build + tier-1 tests passed"
+
+# Kill-and-resume smoke test: SIGKILL a journaled fault campaign
+# mid-sweep, resume it from the journal, and require byte-identical
+# report output to an uninterrupted run (DESIGN.md §11).
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+SMOKE_ENV=(DOPP_WORKLOAD_SCALE=0.05 DOPP_FAULT_WORKLOADS=blackscholes,kmeans DOPP_JOBS=2)
+
+env "${SMOKE_ENV[@]}" "$BUILD_DIR/bench/bench_fault_campaign" \
+    > "$SMOKE_DIR/clean.txt"
+
+env "${SMOKE_ENV[@]}" DOPP_JOURNAL="$SMOKE_DIR/journal.jsonl" \
+    "$BUILD_DIR/bench/bench_fault_campaign" \
+    > "$SMOKE_DIR/killed.txt" 2> /dev/null &
+SMOKE_PID=$!
+for _ in $(seq 1 200); do
+    [ -s "$SMOKE_DIR/journal.jsonl" ] && break
+    sleep 0.05
+done
+kill -9 "$SMOKE_PID" 2> /dev/null || true
+wait "$SMOKE_PID" 2> /dev/null || true
+[ -s "$SMOKE_DIR/journal.jsonl" ] || {
+    echo "ci: smoke test journal empty before kill" >&2
+    exit 1
+}
+
+env "${SMOKE_ENV[@]}" DOPP_JOURNAL="$SMOKE_DIR/journal.jsonl" \
+    "$BUILD_DIR/bench/bench_fault_campaign" > "$SMOKE_DIR/resumed.txt"
+diff "$SMOKE_DIR/clean.txt" "$SMOKE_DIR/resumed.txt"
+echo "ci: kill-and-resume smoke test passed"

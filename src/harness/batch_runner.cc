@@ -1,11 +1,21 @@
 #include "batch_runner.hh"
 
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
 #include <exception>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 
+#include <unistd.h>
+
+#include "harness/journal.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
+#include "util/random.hh"
+#include "workloads/runtime.hh"
 
 namespace dopp
 {
@@ -22,7 +32,148 @@ batchJobs(unsigned jobs)
 namespace
 {
 
-/** Shared state of one runBatch call; workers claim indices from the
+/** 64-bit FNV-1a (retry-jitter seeding; journal.cc keeps its own). */
+u64
+fnv1a64(const std::string &s)
+{
+    u64 h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/**
+ * One monitor thread arming cooperative deadlines for in-flight runs.
+ * On expiry the run's abort flag is set; the access path notices and
+ * throws RunAborted (workloads/runtime.hh), so the worker thread — and
+ * the rest of the pool — survives the timeout.
+ */
+class Watchdog
+{
+  public:
+    Watchdog() = default;
+
+    ~Watchdog()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            stopping = true;
+        }
+        cv.notify_one();
+        if (monitor.joinable())
+            monitor.join();
+    }
+
+    /** Arm a deadline @p timeout_ms from now that sets @p flag.
+     * @return a handle for disarm(). */
+    u64
+    arm(u64 timeout_ms, std::atomic<bool> *flag)
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        if (!monitor.joinable())
+            monitor = std::thread([this] { loop(); });
+        const u64 id = nextId++;
+        entries[id] = {Clock::now() +
+                           std::chrono::milliseconds(timeout_ms),
+                       flag};
+        lock.unlock();
+        cv.notify_one();
+        return id;
+    }
+
+    /** Cancel deadline @p id (no-op if it already fired). */
+    void
+    disarm(u64 id)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        entries.erase(id);
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Entry
+    {
+        Clock::time_point deadline;
+        std::atomic<bool> *flag;
+    };
+
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        while (!stopping) {
+            if (entries.empty()) {
+                cv.wait(lock);
+                continue;
+            }
+            auto earliest = entries.begin();
+            for (auto it = std::next(earliest); it != entries.end();
+                 ++it) {
+                if (it->second.deadline < earliest->second.deadline)
+                    earliest = it;
+            }
+            // Re-scan after every wake: arm() may have added an
+            // earlier deadline, disarm() may have removed this one.
+            if (cv.wait_until(lock, earliest->second.deadline) !=
+                std::cv_status::timeout) {
+                continue;
+            }
+            const auto now = Clock::now();
+            for (auto it = entries.begin(); it != entries.end();) {
+                if (it->second.deadline <= now) {
+                    it->second.flag->store(
+                        true, std::memory_order_release);
+                    it = entries.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+    }
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::unordered_map<u64, Entry> entries;
+    u64 nextId = 1;
+    bool stopping = false;
+    std::thread monitor;
+};
+
+/** Campaign counters under "batch" (null when no registry given). */
+struct BatchCounters
+{
+    Counter *executed = nullptr;
+    Counter *resumed = nullptr;
+    Counter *retried = nullptr;
+    Counter *timedOut = nullptr;
+    Counter *failed = nullptr;
+    Counter *journalBytes = nullptr;
+
+    void
+    init(StatRegistry *reg)
+    {
+        if (!reg)
+            return;
+        StatGroup g = reg->group("batch");
+        executed = &g.counter("runsExecuted",
+                              "runs actually (re-)executed");
+        resumed = &g.counter("runsResumed",
+                             "runs reused from the journal");
+        retried = &g.counter("runsRetried",
+                             "retry attempts performed");
+        timedOut = &g.counter("runsTimedOut",
+                              "per-run watchdog expirations");
+        failed = &g.counter("runsFailed",
+                            "runs that finished failed");
+        journalBytes = &g.counter("journalBytes",
+                                  "bytes appended to the journal");
+    }
+};
+
+/** Shared state of one batch call; workers claim queue slots from the
  * atomic cursor, so the queue needs no locking of its own. */
 struct BatchState
 {
@@ -30,14 +181,37 @@ struct BatchState
     const BatchOptions &opt;
     std::vector<RunResult> &results;
 
+    /** Submission indices still to execute (post-resume). */
+    std::vector<size_t> queue;
+
+    /** Journaling (null for plain runBatch). */
+    RunJournal *journal = nullptr;
+    std::vector<std::string> fingerprints; // parallel to configs
+
     std::atomic<size_t> next{0};
     std::mutex progressMutex;
     size_t completed = 0; // guarded by progressMutex
 
-    explicit BatchState(const std::vector<RunConfig> &c,
-                        const BatchOptions &o, std::vector<RunResult> &r)
+    std::mutex tallyMutex; // guards tallies + counters + journaled
+    BatchOutcome tallies;
+    BatchCounters counters;
+    std::unordered_set<std::string> journaled; // appended this campaign
+
+    Watchdog watchdog;
+
+    BatchState(const std::vector<RunConfig> &c, const BatchOptions &o,
+               std::vector<RunResult> &r)
         : configs(c), opt(o), results(r)
-    {}
+    {
+        counters.init(o.stats);
+    }
+
+    bool
+    cancelRequested() const
+    {
+        return opt.cancel &&
+            opt.cancel->load(std::memory_order_acquire);
+    }
 };
 
 /** Mark @p r failed without losing its identifying fields. */
@@ -45,34 +219,148 @@ void
 markFailed(RunResult &r, const RunConfig &cfg, const std::string &why)
 {
     r.workload = cfg.workloadName;
-    r.organization = llcKindName(cfg.kind);
+    r.organization =
+        cfg.llcName.empty() ? llcKindName(cfg.kind) : cfg.llcName;
     r.failed = true;
     r.error = why;
 }
 
+/** Whether a failed run may be retried: timeouts and run-thrown
+ * exceptions are (crash-adjacent and bounded by maxRetries);
+ * cancellation and configs with no workload never are. */
+bool
+retryableError(const std::string &error)
+{
+    return error != "cancelled" &&
+        error != "config has no workloadName";
+}
+
+/**
+ * Sleep the exponential backoff before retry @p attempt (1-based) of
+ * @p index: retryBackoffMs << (attempt-1), plus up to 50% jitter drawn
+ * deterministically from (fingerprint, attempt) so a rerun of the
+ * same campaign backs off identically. Sleeps in short slices so a
+ * cancel request cuts the wait short.
+ * @return false if cancelled during the sleep.
+ */
+bool
+backoffSleep(BatchState &st, size_t index, unsigned attempt)
+{
+    const std::string fp = st.fingerprints.empty()
+        ? configFingerprint(st.configs[index])
+        : st.fingerprints[index];
+    Rng jitter(fnv1a64(fp) ^ attempt);
+    const double base = static_cast<double>(
+        st.opt.retryBackoffMs << (attempt - 1));
+    u64 totalMs =
+        static_cast<u64>(base * (1.0 + 0.5 * jitter.uniform()));
+    while (totalMs > 0) {
+        if (st.cancelRequested())
+            return false;
+        const u64 slice = std::min<u64>(totalMs, 20);
+        std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+        totalMs -= slice;
+    }
+    return !st.cancelRequested();
+}
+
+void
+bump(Counter *c, u64 n = 1)
+{
+    if (c)
+        *c += n;
+}
+
+/** Execute (with watchdog + retries), journal, and report one run. */
 void
 runOne(BatchState &st, size_t index)
 {
     const RunConfig &cfg = st.configs[index];
     RunResult &r = st.results[index];
-    if (st.opt.cancel && st.opt.cancel->load(std::memory_order_acquire)) {
+
+    if (st.cancelRequested()) {
         markFailed(r, cfg, "cancelled");
     } else if (cfg.workloadName.empty()) {
         markFailed(r, cfg, "config has no workloadName");
     } else {
-        try {
-            r = runWorkload(cfg.workloadName, cfg);
-        } catch (const std::exception &e) {
-            markFailed(r, cfg, e.what());
-        } catch (...) {
-            markFailed(r, cfg, "unknown exception");
+        for (unsigned attempt = 0;; ++attempt) {
+            if (attempt > 0) {
+                if (!backoffSleep(st, index, attempt)) {
+                    markFailed(r, cfg, "cancelled");
+                    break;
+                }
+                std::lock_guard<std::mutex> lock(st.tallyMutex);
+                ++st.tallies.runsRetried;
+                bump(st.counters.retried);
+            }
+
+            r = RunResult(); // clear any failed previous attempt
+            std::atomic<bool> abort{false};
+            RunConfig attemptCfg = cfg; // re-seeded identically
+            attemptCfg.abortFlag = &abort;
+            u64 deadline = 0;
+            if (st.opt.runTimeoutMs)
+                deadline = st.watchdog.arm(st.opt.runTimeoutMs,
+                                           &abort);
+            bool timedOut = false;
+            try {
+                r = runWorkload(attemptCfg.workloadName, attemptCfg);
+            } catch (const RunAborted &) {
+                markFailed(r, cfg, "timeout");
+                timedOut = true;
+            } catch (const std::exception &e) {
+                markFailed(r, cfg, e.what());
+            } catch (...) {
+                markFailed(r, cfg, "unknown exception");
+            }
+            if (deadline)
+                st.watchdog.disarm(deadline);
+
+            {
+                std::lock_guard<std::mutex> lock(st.tallyMutex);
+                ++st.tallies.runsExecuted;
+                bump(st.counters.executed);
+                if (timedOut) {
+                    ++st.tallies.runsTimedOut;
+                    bump(st.counters.timedOut);
+                }
+            }
+
+            if (!r.failed || !retryableError(r.error) ||
+                attempt >= st.opt.maxRetries || st.cancelRequested()) {
+                break;
+            }
         }
+    }
+
+    // Persist before reporting: any run the caller has seen complete
+    // is already in the journal. Failed runs are never journaled —
+    // they re-run on the next resume.
+    if (st.journal && !r.failed) {
+        const std::string &fp = st.fingerprints[index];
+        bool append = false;
+        {
+            std::lock_guard<std::mutex> lock(st.tallyMutex);
+            append = st.journaled.insert(fp).second;
+        }
+        if (append) {
+            const u64 bytes = st.journal->append(fp, r);
+            std::lock_guard<std::mutex> lock(st.tallyMutex);
+            bump(st.counters.journalBytes, bytes);
+        }
+    }
+
+    if (r.failed) {
+        std::lock_guard<std::mutex> lock(st.tallyMutex);
+        ++st.tallies.runsFailed;
+        bump(st.counters.failed);
     }
 
     std::lock_guard<std::mutex> lock(st.progressMutex);
     ++st.completed;
     if (st.opt.onProgress) {
-        BatchProgress p{index, st.completed, st.configs.size(), r};
+        BatchProgress p{index, st.completed, st.configs.size(), false,
+                        r};
         st.opt.onProgress(p);
     }
 }
@@ -80,14 +368,38 @@ runOne(BatchState &st, size_t index)
 void
 workerLoop(BatchState &st)
 {
-    const size_t total = st.configs.size();
+    const size_t total = st.queue.size();
     for (;;) {
-        const size_t index =
+        const size_t slot =
             st.next.fetch_add(1, std::memory_order_relaxed);
-        if (index >= total)
+        if (slot >= total)
             return;
-        runOne(st, index);
+        runOne(st, st.queue[slot]);
     }
+}
+
+/** Drain st.queue on the pool (or the calling thread for jobs<=1). */
+void
+drainQueue(BatchState &st)
+{
+    if (st.queue.empty())
+        return;
+
+    const unsigned jobs = std::min<unsigned>(
+        batchJobs(st.opt.jobs),
+        static_cast<unsigned>(st.queue.size()));
+
+    if (jobs <= 1) {
+        workerLoop(st); // serial path: the caller's own thread
+        return;
+    }
+
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned i = 0; i < jobs; ++i)
+        pool.emplace_back([&st]() { workerLoop(st); });
+    for (auto &t : pool)
+        t.join();
 }
 
 } // namespace
@@ -101,22 +413,95 @@ runBatch(const std::vector<RunConfig> &configs,
         return results;
 
     BatchState st(configs, options, results);
-    const unsigned jobs = std::min<unsigned>(
-        batchJobs(options.jobs),
-        static_cast<unsigned>(configs.size()));
+    st.queue.resize(configs.size());
+    for (size_t i = 0; i < configs.size(); ++i)
+        st.queue[i] = i;
+    drainQueue(st);
+    return results;
+}
 
-    if (jobs <= 1) {
-        workerLoop(st); // serial path: the caller's own thread
-        return results;
+BatchOutcome
+runBatchResumable(const std::vector<RunConfig> &configs,
+                  const std::string &journal_path,
+                  const BatchOptions &options)
+{
+    if (journal_path.empty())
+        fatal("runBatchResumable: empty journal path (use runBatch "
+              "for journal-less execution)");
+
+    BatchOutcome outcome;
+    outcome.results.resize(configs.size());
+    if (configs.empty())
+        return outcome;
+
+    const LoadedJournal loaded = loadJournal(journal_path);
+    RunJournal journal(journal_path);
+
+    BatchState st(configs, options, outcome.results);
+    st.journal = &journal;
+    st.fingerprints.reserve(configs.size());
+    for (const RunConfig &cfg : configs)
+        st.fingerprints.push_back(configFingerprint(cfg));
+
+    // Resume pass: reuse every completed record whose config carries
+    // no observation hooks; report them first, in submission order,
+    // from the calling thread.
+    for (size_t i = 0; i < configs.size(); ++i) {
+        const auto it = loaded.records.find(st.fingerprints[i]);
+        if (it == loaded.records.end() || it->second.failed ||
+            !configResumable(configs[i])) {
+            st.queue.push_back(i);
+            continue;
+        }
+        outcome.results[i] = it->second;
+        ++st.tallies.runsResumed;
+        bump(st.counters.resumed);
+        ++st.completed;
+        if (options.onProgress) {
+            BatchProgress p{i, st.completed, configs.size(), true,
+                            outcome.results[i]};
+            options.onProgress(p);
+        }
     }
 
-    std::vector<std::thread> pool;
-    pool.reserve(jobs);
-    for (unsigned i = 0; i < jobs; ++i)
-        pool.emplace_back([&st]() { workerLoop(st); });
-    for (auto &t : pool)
-        t.join();
-    return results;
+    drainQueue(st);
+
+    st.tallies.results = std::move(outcome.results);
+    outcome = std::move(st.tallies);
+    outcome.interrupted = st.cancelRequested();
+    return outcome;
+}
+
+namespace
+{
+
+std::atomic<bool> signalCancelFlag{false};
+
+extern "C" void
+batchSignalHandler(int sig)
+{
+    signalCancelFlag.store(true, std::memory_order_release);
+    // Restore default disposition so a second signal kills the
+    // process immediately instead of being swallowed.
+    std::signal(sig, SIG_DFL);
+    static const char msg[] =
+        "\n[dopp] signal received: finishing in-flight runs and "
+        "flushing the journal; send again to kill\n";
+    const ssize_t rc = ::write(2, msg, sizeof(msg) - 1);
+    (void)rc;
+}
+
+} // namespace
+
+const std::atomic<bool> *
+installBatchSignalHandler()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        std::signal(SIGINT, batchSignalHandler);
+        std::signal(SIGTERM, batchSignalHandler);
+    });
+    return &signalCancelFlag;
 }
 
 } // namespace dopp

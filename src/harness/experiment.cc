@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
-#include <fstream>
 #include <memory>
 #include <mutex>
 
@@ -12,6 +11,7 @@
 #include "sim/trace.hh"
 #include "sim/memory.hh"
 #include "util/env.hh"
+#include "util/fileio.hh"
 #include "util/logging.hh"
 
 namespace dopp
@@ -99,7 +99,9 @@ namespace
  * Append one JSON line for @p r to the DOPP_STATS_JSON path, if set.
  * The batch runner runs workloads from worker threads, so the append
  * is serialized process-wide; line order across runs is therefore
- * unspecified under DOPP_JOBS > 1.
+ * unspecified under DOPP_JOBS > 1. Each record is one O_APPEND
+ * write(2) + fsync(2) (util/fileio.hh), so a crash mid-campaign loses
+ * at most the record being written and never interleaves lines.
  */
 void
 maybeAppendStatsJson(const RunResult &r)
@@ -107,13 +109,23 @@ maybeAppendStatsJson(const RunResult &r)
     const char *path = std::getenv("DOPP_STATS_JSON");
     if (!path || !*path)
         return;
+
+    std::string record;
+    record.reserve(256 + 16 * r.stats.size());
+    record += "{\"workload\":\"";
+    record += r.workload;
+    record += "\",\"organization\":\"";
+    record += r.organization;
+    record += "\",\"stats\":";
+    record += r.stats.json();
+    record += "}\n";
+
     static std::mutex ioMutex;
     std::lock_guard<std::mutex> lock(ioMutex);
-    std::ofstream out(path, std::ios::app);
-    if (!out)
-        fatal("DOPP_STATS_JSON: cannot open '%s' for append", path);
-    out << "{\"workload\":\"" << r.workload << "\",\"organization\":\""
-        << r.organization << "\",\"stats\":" << r.stats.json() << "}\n";
+    static std::unique_ptr<AppendLog> log;
+    if (!log || log->path() != path)
+        log = std::make_unique<AppendLog>(path);
+    log->append(record);
 }
 
 } // namespace
@@ -188,6 +200,7 @@ runWorkload(const std::string &workload_name, const RunConfig &cfg)
     HierarchyConfig hc; // Table 1 defaults
     MemorySystem system(hc, *llc, memory, &statReg, "hierarchy");
     SimRuntime rt(system, memory, registry);
+    rt.abortFlag = cfg.abortFlag; // watchdog unwind point
 
     // Run-level derived stats, computed at snapshot time.
     const DoppelgangerCache *doppView = built.dopp;

@@ -9,6 +9,7 @@
 #ifndef DOPP_HARNESS_EXPERIMENT_HH
 #define DOPP_HARNESS_EXPERIMENT_HH
 
+#include <atomic>
 #include <functional>
 #include <string>
 
@@ -94,6 +95,14 @@ struct RunConfig
 
     /** QoR guardrail (budget zero: no guardrail is attached). */
     QorConfig qor;
+
+    /**
+     * Cooperative abort flag handed to SimRuntime (the batch runner's
+     * per-run watchdog sets it on timeout). Never affects a completed
+     * run's results — it is excluded from the config fingerprint
+     * (harness/journal.hh) like the observation hooks above.
+     */
+    const std::atomic<bool> *abortFlag = nullptr;
 };
 
 /** Everything measured in one run. */

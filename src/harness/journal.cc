@@ -1,0 +1,757 @@
+#include "journal.hh"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "sim/hierarchy.hh"
+#include "sim/llc.hh"
+#include "util/logging.hh"
+
+namespace dopp
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Canonical formatting shared by the fingerprint and the writer
+// ---------------------------------------------------------------------
+
+/** Shortest-round-trip decimal form of @p x (std::to_chars), the same
+ * formatting StatValue::str() uses — strtod() reproduces the exact
+ * double, so journal round-trips are bit-exact. */
+std::string
+fmtDouble(double x)
+{
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), x);
+    return std::string(buf, res.ptr);
+}
+
+std::string
+fmtU64(u64 x)
+{
+    return std::to_string(x);
+}
+
+/** JSON string escaping for error messages and names. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** 64-bit FNV-1a over @p s. */
+u64
+fnv1a64(const std::string &s)
+{
+    u64 h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON parser (journal records only)
+// ---------------------------------------------------------------------
+
+/**
+ * Parsed JSON value. Numbers keep their raw token so integral stats
+ * reload as exact u64s (a double round-trip would corrupt counters
+ * above 2^53) and reals reload via the same strtod shortest-
+ * round-trip guarantee the writer relies on.
+ */
+struct JsonValue
+{
+    enum class Kind : u8 { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    std::string raw;  ///< number token
+    std::string text; ///< string contents
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : object) {
+            if (k == key)
+                return &v;
+        }
+        return nullptr;
+    }
+
+    bool
+    asU64(u64 &out) const
+    {
+        if (kind != Kind::Number)
+            return false;
+        const char *b = raw.c_str();
+        const char *e = b + raw.size();
+        const auto res = std::from_chars(b, e, out);
+        return res.ec == std::errc() && res.ptr == e;
+    }
+
+    bool
+    asDouble(double &out) const
+    {
+        if (kind != Kind::Number)
+            return false;
+        const char *b = raw.c_str();
+        char *end = nullptr;
+        out = std::strtod(b, &end);
+        return end == b + raw.size();
+    }
+};
+
+/** Recursive-descent parser over one record line. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &s)
+        : p(s.c_str()), end(s.c_str() + s.size())
+    {
+    }
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        return p == end; // trailing junk is malformation
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\r' ||
+                           *p == '\n')) {
+            ++p;
+        }
+    }
+
+    bool
+    literal(const char *lit)
+    {
+        const char *q = p;
+        while (*lit) {
+            if (q >= end || *q != *lit)
+                return false;
+            ++q;
+            ++lit;
+        }
+        p = q;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (p >= end || *p != '"')
+            return false;
+        ++p;
+        out.clear();
+        while (p < end && *p != '"') {
+            char c = *p++;
+            if (c == '\\') {
+                if (p >= end)
+                    return false;
+                const char esc = *p++;
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'u': {
+                      if (end - p < 4)
+                          return false;
+                      unsigned code = 0;
+                      for (int i = 0; i < 4; ++i) {
+                          const char h = *p++;
+                          code <<= 4;
+                          if (h >= '0' && h <= '9')
+                              code |= static_cast<unsigned>(h - '0');
+                          else if (h >= 'a' && h <= 'f')
+                              code |= static_cast<unsigned>(
+                                  h - 'a' + 10);
+                          else if (h >= 'A' && h <= 'F')
+                              code |= static_cast<unsigned>(
+                                  h - 'A' + 10);
+                          else
+                              return false;
+                      }
+                      // The writer only emits \u00xx control escapes.
+                      if (code > 0xff)
+                          return false;
+                      out += static_cast<char>(code);
+                      break;
+                  }
+                  default: return false;
+                }
+            } else {
+                out += c;
+            }
+        }
+        if (p >= end)
+            return false;
+        ++p; // closing quote
+        return true;
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const char *start = p;
+        if (p < end && (*p == '-' || *p == '+'))
+            ++p;
+        bool digits = false;
+        while (p < end &&
+               ((*p >= '0' && *p <= '9') || *p == '.' || *p == 'e' ||
+                *p == 'E' || *p == '-' || *p == '+')) {
+            if (*p >= '0' && *p <= '9')
+                digits = true;
+            ++p;
+        }
+        if (!digits)
+            return false;
+        out.kind = JsonValue::Kind::Number;
+        out.raw.assign(start, p);
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (p >= end)
+            return false;
+        switch (*p) {
+          case '{': {
+              ++p;
+              out.kind = JsonValue::Kind::Object;
+              skipWs();
+              if (p < end && *p == '}') {
+                  ++p;
+                  return true;
+              }
+              for (;;) {
+                  skipWs();
+                  std::string key;
+                  if (!parseString(key))
+                      return false;
+                  skipWs();
+                  if (p >= end || *p != ':')
+                      return false;
+                  ++p;
+                  JsonValue v;
+                  if (!parseValue(v))
+                      return false;
+                  out.object.emplace_back(std::move(key),
+                                          std::move(v));
+                  skipWs();
+                  if (p < end && *p == ',') {
+                      ++p;
+                      continue;
+                  }
+                  if (p < end && *p == '}') {
+                      ++p;
+                      return true;
+                  }
+                  return false;
+              }
+          }
+          case '[': {
+              ++p;
+              out.kind = JsonValue::Kind::Array;
+              skipWs();
+              if (p < end && *p == ']') {
+                  ++p;
+                  return true;
+              }
+              for (;;) {
+                  JsonValue v;
+                  if (!parseValue(v))
+                      return false;
+                  out.array.push_back(std::move(v));
+                  skipWs();
+                  if (p < end && *p == ',') {
+                      ++p;
+                      continue;
+                  }
+                  if (p < end && *p == ']') {
+                      ++p;
+                      return true;
+                  }
+                  return false;
+              }
+          }
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.text);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    const char *p;
+    const char *end;
+};
+
+// ---------------------------------------------------------------------
+// Compatibility-view reconstruction (snapshot -> typed RunResult)
+// ---------------------------------------------------------------------
+
+/** Optional counter read: @p fallback when @p name is absent. */
+u64
+snapCounter(const StatSnapshot &s, const std::string &name,
+            u64 fallback = 0)
+{
+    for (const StatValue &v : s.values()) {
+        if (v.name == name)
+            return v.integral ? v.u : static_cast<u64>(v.d);
+    }
+    return fallback;
+}
+
+double
+snapReal(const StatSnapshot &s, const std::string &name,
+         double fallback = 0.0)
+{
+    for (const StatValue &v : s.values()) {
+        if (v.name == name)
+            return v.asDouble();
+    }
+    return fallback;
+}
+
+bool
+snapHas(const StatSnapshot &s, const std::string &prefix)
+{
+    for (const StatValue &v : s.values()) {
+        if (v.name.size() > prefix.size() &&
+            v.name.compare(0, prefix.size(), prefix) == 0 &&
+            v.name[prefix.size()] == '.') {
+            return true;
+        }
+    }
+    return false;
+}
+
+LlcStats
+llcStatsFromSnapshot(const StatSnapshot &s, const std::string &prefix)
+{
+    LlcStats out;
+    for (const LlcStatField &f : llcStatFields())
+        f.ref(out) = snapCounter(s, prefix + "." + f.name);
+    return out;
+}
+
+/**
+ * Re-derive every typed compatibility view on @p r from the
+ * authoritative snapshot, mirroring what runWorkload fills in at the
+ * end of a live run (experiment.cc). Stats a custom organization
+ * registered under other group names stay in the snapshot only.
+ */
+void
+deriveCompatViews(RunResult &r)
+{
+    const StatSnapshot &s = r.stats;
+
+    r.llc = llcStatsFromSnapshot(s, "llc");
+    if (snapHas(s, "llc.precise"))
+        r.preciseHalf = llcStatsFromSnapshot(s, "llc.precise");
+    // uniDoppelgänger's own counters live under llc.dopp too, so this
+    // covers both decoupled organizations (cf. runWorkload's
+    // doppHalf assignment).
+    if (snapHas(s, "llc.dopp"))
+        r.doppHalf = llcStatsFromSnapshot(s, "llc.dopp");
+
+    r.hierarchy.accesses = snapCounter(s, "hierarchy.accesses");
+    r.hierarchy.loads = snapCounter(s, "hierarchy.loads");
+    r.hierarchy.stores = snapCounter(s, "hierarchy.stores");
+    r.hierarchy.l1Hits = snapCounter(s, "hierarchy.l1.hits");
+    r.hierarchy.l1Misses = snapCounter(s, "hierarchy.l1.misses");
+    r.hierarchy.l2Hits = snapCounter(s, "hierarchy.l2.hits");
+    r.hierarchy.l2Misses = snapCounter(s, "hierarchy.l2.misses");
+    r.hierarchy.upgrades = snapCounter(s, "hierarchy.upgrades");
+    r.hierarchy.remoteFetches =
+        snapCounter(s, "hierarchy.remoteFetches");
+    r.hierarchy.invalidationsSent =
+        snapCounter(s, "hierarchy.invalidationsSent");
+
+    r.memReads = snapCounter(s, "mem.reads");
+    r.memWrites = snapCounter(s, "mem.writes");
+
+    for (unsigned d = 0; d < faultDomainCount; ++d) {
+        r.fault.injected[d] = snapCounter(
+            s, std::string("fault.injected.") +
+                   faultDomainName(static_cast<FaultDomain>(d)));
+    }
+    r.fault.detected = snapCounter(s, "fault.detected");
+    r.fault.repairs = snapCounter(s, "fault.repairs");
+    r.fault.tagsDropped = snapCounter(s, "fault.tagsDropped");
+    r.fault.entriesDropped = snapCounter(s, "fault.entriesDropped");
+
+    r.guardrailDegradations = snapCounter(s, "qor.degradations");
+    r.guardrailDegradedOps = snapCounter(s, "qor.degradedOps");
+    r.guardrailEstimate = snapReal(s, "qor.estimate");
+
+    r.runtime = snapCounter(s, "run.runtimeCycles");
+    r.tagsPerDataEntry = snapReal(s, "run.tagsPerDataEntry");
+}
+
+constexpr u64 journalSchemaVersion = 1;
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Fingerprint
+// ---------------------------------------------------------------------
+
+std::string
+configFingerprint(const RunConfig &cfg)
+{
+    const std::string org =
+        cfg.llcName.empty() ? llcKindName(cfg.kind) : cfg.llcName;
+
+    // Canonical key=value rendering of every result-affecting field;
+    // extend this list whenever RunConfig grows one (DESIGN.md §11).
+    std::string key;
+    key.reserve(256);
+    auto add = [&key](const char *name, const std::string &value) {
+        key += name;
+        key += '=';
+        key += value;
+        key += ';';
+    };
+    add("workload", cfg.workloadName);
+    add("org", org);
+    add("mapBits", fmtU64(cfg.mapBits));
+    add("dataFraction", fmtDouble(cfg.dataFraction));
+    add("hashMode", fmtU64(static_cast<u64>(cfg.hashMode)));
+    add("hashDataSetIndex", fmtU64(cfg.hashDataSetIndex ? 1 : 0));
+    add("dataPolicy", fmtU64(static_cast<u64>(cfg.dataPolicy)));
+    add("tagCountAwareData", fmtU64(cfg.tagCountAwareData ? 1 : 0));
+    add("scale", fmtDouble(cfg.workload.scale));
+    add("seed", fmtU64(cfg.workload.seed));
+    add("perUseRanges", fmtU64(cfg.workload.perUseRanges ? 1 : 0));
+    add("baselineBytes", fmtU64(cfg.baselineBytes));
+    add("llcWays", fmtU64(cfg.llcWays));
+    add("llcLatency", fmtU64(cfg.llcLatency));
+    add("fault.seed", fmtU64(cfg.fault.seed));
+    add("fault.memoryRate", fmtDouble(cfg.fault.memoryRate));
+    add("fault.dataRate", fmtDouble(cfg.fault.dataRate));
+    add("fault.tagMetaRate", fmtDouble(cfg.fault.tagMetaRate));
+    add("fault.mtagMetaRate", fmtDouble(cfg.fault.mtagMetaRate));
+    add("qor.budget", fmtDouble(cfg.qor.budget));
+    add("qor.reenableFraction", fmtDouble(cfg.qor.reenableFraction));
+    add("qor.window", fmtU64(cfg.qor.window));
+    add("qor.minDwell", fmtU64(cfg.qor.minDwell));
+
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(key)));
+    return cfg.workloadName + "/" + org + "@" + hex;
+}
+
+bool
+configResumable(const RunConfig &cfg)
+{
+    return !cfg.onSnapshot && cfg.tracePath.empty();
+}
+
+// ---------------------------------------------------------------------
+// Record writer
+// ---------------------------------------------------------------------
+
+std::string
+journalRecordJson(const std::string &fingerprint,
+                  const RunResult &result)
+{
+    std::string out;
+    out.reserve(512 + 24 * result.stats.size());
+    out += "{\"v\":";
+    out += fmtU64(journalSchemaVersion);
+    out += ",\"fp\":\"";
+    out += jsonEscape(fingerprint);
+    out += "\",\"workload\":\"";
+    out += jsonEscape(result.workload);
+    out += "\",\"organization\":\"";
+    out += jsonEscape(result.organization);
+    out += "\",\"failed\":";
+    out += result.failed ? "true" : "false";
+    out += ",\"error\":\"";
+    out += jsonEscape(result.error);
+    out += "\",\"dopp\":{";
+    const DoppConfig &d = result.doppConfig;
+    out += "\"tagEntries\":" + fmtU64(d.tagEntries);
+    out += ",\"tagWays\":" + fmtU64(d.tagWays);
+    out += ",\"dataEntries\":" + fmtU64(d.dataEntries);
+    out += ",\"dataWays\":" + fmtU64(d.dataWays);
+    out += ",\"mapBits\":" + fmtU64(d.mapBits);
+    out += ",\"hashMode\":" + fmtU64(static_cast<u64>(d.hashMode));
+    out += ",\"hitLatency\":" + fmtU64(d.hitLatency);
+    out += ",\"unified\":" + fmtU64(d.unified ? 1 : 0);
+    out += ",\"hashDataSetIndex\":" +
+        fmtU64(d.hashDataSetIndex ? 1 : 0);
+    out += ",\"dataPolicy\":" + fmtU64(static_cast<u64>(d.dataPolicy));
+    out += ",\"tagCountAwareData\":" +
+        fmtU64(d.tagCountAwareData ? 1 : 0);
+    out += "},\"output\":[";
+    for (size_t i = 0; i < result.output.size(); ++i) {
+        if (i)
+            out += ',';
+        out += fmtDouble(result.output[i]);
+    }
+    out += "],\"stats\":[";
+    bool first = true;
+    for (const StatValue &v : result.stats.values()) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"n\":\"";
+        out += jsonEscape(v.name);
+        out += v.integral ? "\",\"u\":" : "\",\"d\":";
+        out += v.integral ? fmtU64(v.u) : fmtDouble(v.d);
+        out += '}';
+    }
+    out += "]}\n";
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Record reader
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+bool
+knownKeysOnly(const JsonValue &obj,
+              std::initializer_list<const char *> known,
+              std::string &why)
+{
+    for (const auto &[k, v] : obj.object) {
+        (void)v;
+        bool ok = false;
+        for (const char *name : known)
+            ok = ok || k == name;
+        if (!ok) {
+            why = "unknown schema column '" + k + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+parseJournalRecord(const std::string &line, std::string &fingerprint,
+                   RunResult &result, std::string &why)
+{
+    JsonValue root;
+    if (!JsonParser(line).parse(root) ||
+        root.kind != JsonValue::Kind::Object) {
+        why = "not a complete JSON object (truncated line?)";
+        return false;
+    }
+    if (!knownKeysOnly(root,
+                       {"v", "fp", "workload", "organization",
+                        "failed", "error", "dopp", "output", "stats"},
+                       why)) {
+        return false;
+    }
+
+    const JsonValue *v = root.find("v");
+    u64 version = 0;
+    if (!v || !v->asU64(version) || version != journalSchemaVersion) {
+        why = "unknown schema version";
+        return false;
+    }
+
+    const JsonValue *fp = root.find("fp");
+    const JsonValue *workload = root.find("workload");
+    const JsonValue *organization = root.find("organization");
+    const JsonValue *failed = root.find("failed");
+    const JsonValue *error = root.find("error");
+    const JsonValue *dopp = root.find("dopp");
+    const JsonValue *output = root.find("output");
+    const JsonValue *stats = root.find("stats");
+    if (!fp || fp->kind != JsonValue::Kind::String || !workload ||
+        workload->kind != JsonValue::Kind::String || !organization ||
+        organization->kind != JsonValue::Kind::String || !failed ||
+        failed->kind != JsonValue::Kind::Bool || !error ||
+        error->kind != JsonValue::Kind::String || !dopp ||
+        dopp->kind != JsonValue::Kind::Object || !output ||
+        output->kind != JsonValue::Kind::Array || !stats ||
+        stats->kind != JsonValue::Kind::Array) {
+        why = "missing or mistyped required field";
+        return false;
+    }
+
+    RunResult r;
+    fingerprint = fp->text;
+    r.workload = workload->text;
+    r.organization = organization->text;
+    r.failed = failed->boolean;
+    r.error = error->text;
+
+    if (!knownKeysOnly(*dopp,
+                       {"tagEntries", "tagWays", "dataEntries",
+                        "dataWays", "mapBits", "hashMode",
+                        "hitLatency", "unified", "hashDataSetIndex",
+                        "dataPolicy", "tagCountAwareData"},
+                       why)) {
+        return false;
+    }
+    auto doppU64 = [&dopp](const char *key, u64 fallback) {
+        const JsonValue *f = dopp->find(key);
+        u64 value = 0;
+        return f && f->asU64(value) ? value : fallback;
+    };
+    DoppConfig &dc = r.doppConfig;
+    dc.tagEntries = static_cast<u32>(doppU64("tagEntries", 0));
+    dc.tagWays = static_cast<u32>(doppU64("tagWays", 0));
+    dc.dataEntries = static_cast<u32>(doppU64("dataEntries", 0));
+    dc.dataWays = static_cast<u32>(doppU64("dataWays", 0));
+    dc.mapBits = static_cast<unsigned>(doppU64("mapBits", 0));
+    dc.hashMode = static_cast<MapHashMode>(doppU64("hashMode", 0));
+    dc.hitLatency = doppU64("hitLatency", 0);
+    dc.unified = doppU64("unified", 0) != 0;
+    dc.hashDataSetIndex = doppU64("hashDataSetIndex", 1) != 0;
+    dc.dataPolicy = static_cast<ReplPolicy>(doppU64("dataPolicy", 0));
+    dc.tagCountAwareData = doppU64("tagCountAwareData", 0) != 0;
+
+    r.output.reserve(output->array.size());
+    for (const JsonValue &e : output->array) {
+        double x = 0.0;
+        if (!e.asDouble(x)) {
+            why = "non-numeric output element";
+            return false;
+        }
+        r.output.push_back(x);
+    }
+
+    // Rebuild the snapshot in record order; "u" carries an exact u64,
+    // "d" a shortest-round-trip real.
+    std::vector<StatValue> entries;
+    entries.reserve(stats->array.size());
+    for (const JsonValue &e : stats->array) {
+        if (e.kind != JsonValue::Kind::Object ||
+            !knownKeysOnly(e, {"n", "u", "d"}, why)) {
+            if (why.empty())
+                why = "malformed stat entry";
+            return false;
+        }
+        const JsonValue *n = e.find("n");
+        const JsonValue *u = e.find("u");
+        const JsonValue *d = e.find("d");
+        if (!n || n->kind != JsonValue::Kind::String ||
+            (!u && !d) || (u && d)) {
+            why = "malformed stat entry";
+            return false;
+        }
+        StatValue sv;
+        sv.name = n->text;
+        if (u) {
+            sv.integral = true;
+            if (!u->asU64(sv.u)) {
+                why = "stat '" + sv.name + "': bad counter value";
+                return false;
+            }
+        } else {
+            sv.integral = false;
+            if (!d->asDouble(sv.d)) {
+                why = "stat '" + sv.name + "': bad real value";
+                return false;
+            }
+        }
+        entries.push_back(std::move(sv));
+    }
+    r.stats = StatSnapshot::fromValues(std::move(entries));
+
+    deriveCompatViews(r);
+    result = std::move(r);
+    return true;
+}
+
+LoadedJournal
+loadJournal(const std::string &path)
+{
+    LoadedJournal out;
+    out.bytes = fileSizeBytes(path);
+
+    std::ifstream in(path);
+    if (!in)
+        return out; // missing journal: nothing completed yet
+
+    std::string line;
+    u64 lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        std::string fingerprint;
+        RunResult r;
+        std::string why;
+        if (!parseJournalRecord(line, fingerprint, r, why)) {
+            warn("journal '%s': line %llu: %s; the affected config "
+                 "will re-run",
+                 path.c_str(),
+                 static_cast<unsigned long long>(lineNo),
+                 why.c_str());
+            ++out.recordsDiscarded;
+            continue;
+        }
+        ++out.recordsLoaded;
+        out.records[fingerprint] = std::move(r); // last record wins
+    }
+    return out;
+}
+
+} // namespace dopp

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Journaled checkpoint store for batch campaigns (DESIGN.md §11).
+ *
+ * Every finished run is appended to a JSONL journal as one
+ * self-describing record keyed by a deterministic *config
+ * fingerprint* — a hash over every result-affecting RunConfig field.
+ * Records are written with a single O_APPEND write(2) + fsync(2)
+ * (util/fileio.hh), so after a crash the journal is parseable up to,
+ * at worst, one truncated final line. A resumed campaign
+ * (runBatchResumable, harness/batch_runner.hh) loads the journal,
+ * reuses the record of every fingerprint-matching completed run, and
+ * re-executes only the remainder; the determinism contract (§9) makes
+ * the reconstructed results bit-identical to a fresh execution.
+ *
+ * What a record carries: workload, organization, failure state, the
+ * full ordered StatRegistry snapshot (exact u64 counters, shortest-
+ * round-trip reals), the application output vector and the
+ * Doppelgänger geometry. The typed compatibility views on RunResult
+ * (LlcStats, HierarchyStats, fault tallies, guardrail scalars) are
+ * re-derived from the snapshot on load. NOT persisted: the raw
+ * fault-event trace and the guardrail's degradation intervals —
+ * campaigns that analyse those re-run without a journal.
+ *
+ * Corruption tolerance (loadJournal): a truncated or otherwise
+ * unparseable line, an unknown schema version or column, or a record
+ * missing required fields is discarded with a warning — the affected
+ * config simply re-runs. A duplicate fingerprint keeps the *last*
+ * record (a later campaign's result supersedes an earlier one).
+ */
+
+#ifndef DOPP_HARNESS_JOURNAL_HH
+#define DOPP_HARNESS_JOURNAL_HH
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "harness/experiment.hh"
+#include "util/fileio.hh"
+
+namespace dopp
+{
+
+/**
+ * Deterministic fingerprint of every result-affecting field of
+ * @p cfg: workload name/sizing/seed, organization, geometry, map
+ * knobs, fault and QoR configuration. Excluded on purpose:
+ * observation hooks (onSnapshot, tracePath), snapshotPeriod and the
+ * batch runner's abort flag — they never change a RunResult (configs
+ * carrying hooks are re-executed on resume rather than reused; see
+ * runBatchResumable). Format: "<workload>/<organization>@<16 hex>".
+ */
+std::string configFingerprint(const RunConfig &cfg);
+
+/** Whether a journal record for @p cfg may be *reused* on resume:
+ * false for configs carrying observation hooks (onSnapshot, trace
+ * capture), whose side effects a journal cannot replay. */
+bool configResumable(const RunConfig &cfg);
+
+/** One journal record serialized as a single JSON line (with the
+ * trailing newline). */
+std::string journalRecordJson(const std::string &fingerprint,
+                              const RunResult &result);
+
+/**
+ * Parse one journal line. On success fills @p fingerprint and
+ * @p result (compatibility views re-derived from the snapshot) and
+ * returns true; on any malformation fills @p why and returns false.
+ */
+bool parseJournalRecord(const std::string &line,
+                        std::string &fingerprint, RunResult &result,
+                        std::string &why);
+
+/** Contents of a loaded journal. */
+struct LoadedJournal
+{
+    /** Last valid record per fingerprint. */
+    std::unordered_map<std::string, RunResult> records;
+
+    size_t recordsLoaded = 0;    ///< valid records (incl. superseded)
+    size_t recordsDiscarded = 0; ///< malformed/unknown-schema lines
+    u64 bytes = 0;               ///< journal size on disk
+};
+
+/**
+ * Load the journal at @p path. A missing file is an empty journal;
+ * malformed lines are discarded with a warning naming the path, the
+ * 1-based line number and the reason (see corruption tolerance
+ * above). Never fatal on content: the worst corruption can do is
+ * force a re-run.
+ */
+LoadedJournal loadJournal(const std::string &path);
+
+/**
+ * Append handle for one campaign's journal. Thread-safe: the batch
+ * runner's workers append from whichever thread finished the run.
+ */
+class RunJournal
+{
+  public:
+    /** Open (creating if needed) the journal at @p path. */
+    explicit RunJournal(const std::string &path) : log(path) {}
+
+    /** Append the record for @p result under @p fingerprint.
+     * @return bytes appended. */
+    u64
+    append(const std::string &fingerprint, const RunResult &result)
+    {
+        const std::string record =
+            journalRecordJson(fingerprint, result);
+        std::lock_guard<std::mutex> lock(mutex);
+        return log.append(record);
+    }
+
+    const std::string &path() const { return log.path(); }
+    u64 bytesAppended() const { return log.bytesAppended(); }
+    u64 openedAtBytes() const { return log.openedAtBytes(); }
+
+  private:
+    std::mutex mutex;
+    AppendLog log;
+};
+
+} // namespace dopp
+
+#endif // DOPP_HARNESS_JOURNAL_HH

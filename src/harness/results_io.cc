@@ -1,11 +1,11 @@
 #include "results_io.hh"
 
-#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/fileio.hh"
 #include "util/logging.hh"
 
 namespace dopp
@@ -51,33 +51,31 @@ void
 writeResultsCsv(const std::string &path,
                 const std::vector<RunResult> &results)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        fatal("cannot open '%s' for writing", path.c_str());
-
+    // Build the whole file in memory, then write-to-temp + rename so
+    // a crash never leaves a truncated CSV behind (util/fileio.hh).
     const std::vector<std::string> columns = resultStatColumns(results);
-    std::string header = "workload,organization";
+    std::string out = "workload,organization";
     for (const std::string &c : columns) {
-        header += ',';
-        header += c;
+        out += ',';
+        out += c;
     }
-    std::fprintf(f, "%s\n", header.c_str());
+    out += '\n';
 
     for (const RunResult &r : results) {
         std::unordered_map<std::string, const StatValue *> byName;
         byName.reserve(r.stats.size());
         for (const StatValue &v : r.stats.values())
             byName.emplace(v.name, &v);
-        std::string row = r.workload + ',' + r.organization;
+        out += r.workload + ',' + r.organization;
         for (const std::string &c : columns) {
-            row += ',';
+            out += ',';
             auto it = byName.find(c);
-            row += it == byName.end() ? std::string("0")
+            out += it == byName.end() ? std::string("0")
                                       : it->second->str();
         }
-        std::fprintf(f, "%s\n", row.c_str());
+        out += '\n';
     }
-    std::fclose(f);
+    atomicWriteFile(path, out);
 }
 
 std::string
@@ -93,16 +91,16 @@ void
 writeResultsJson(const std::string &path,
                  const std::vector<RunResult> &results)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        fatal("cannot open '%s' for writing", path.c_str());
-    std::fprintf(f, "[\n");
+    std::string out = "[\n";
     for (size_t i = 0; i < results.size(); ++i) {
-        std::fprintf(f, "  %s%s\n", runResultJson(results[i]).c_str(),
-                     i + 1 < results.size() ? "," : "");
+        out += "  ";
+        out += runResultJson(results[i]);
+        if (i + 1 < results.size())
+            out += ',';
+        out += '\n';
     }
-    std::fprintf(f, "]\n");
-    std::fclose(f);
+    out += "]\n";
+    atomicWriteFile(path, out); // crash-safe: temp + rename
 }
 
 double

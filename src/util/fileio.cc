@@ -1,0 +1,102 @@
+#include "fileio.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "logging.hh"
+
+namespace dopp
+{
+
+namespace
+{
+
+/** write(2) all of @p data to @p fd, retrying on EINTR/partial
+ * writes. Fatal with @p path and errno on any unrecoverable error. */
+void
+writeAll(int fd, const std::string &path, const char *data, size_t n)
+{
+    size_t done = 0;
+    while (done < n) {
+        const ssize_t w = ::write(fd, data + done, n - done);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("'%s': short write (%zu of %zu bytes): %s",
+                  path.c_str(), done, n, std::strerror(errno));
+        }
+        done += static_cast<size_t>(w);
+    }
+}
+
+void
+fsyncOrDie(int fd, const std::string &path)
+{
+    if (::fsync(fd) != 0)
+        fatal("'%s': fsync failed: %s", path.c_str(),
+              std::strerror(errno));
+}
+
+} // namespace
+
+void
+atomicWriteFile(const std::string &path, const std::string &contents)
+{
+    // Same-directory temp so the final rename cannot cross devices.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                          0644);
+    if (fd < 0)
+        fatal("cannot open '%s' for writing: %s", tmp.c_str(),
+              std::strerror(errno));
+    writeAll(fd, tmp, contents.data(), contents.size());
+    fsyncOrDie(fd, tmp);
+    if (::close(fd) != 0)
+        fatal("'%s': close failed: %s", tmp.c_str(),
+              std::strerror(errno));
+    if (::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("cannot rename '%s' to '%s': %s", tmp.c_str(),
+              path.c_str(), std::strerror(errno));
+}
+
+AppendLog::AppendLog(const std::string &path) : filePath(path)
+{
+    fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+    if (fd < 0)
+        fatal("cannot open '%s' for appending: %s", path.c_str(),
+              std::strerror(errno));
+    struct stat st;
+    if (::fstat(fd, &st) == 0)
+        openedAt = static_cast<u64>(st.st_size);
+}
+
+AppendLog::~AppendLog()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+u64
+AppendLog::append(const std::string &record)
+{
+    writeAll(fd, filePath, record.data(), record.size());
+    fsyncOrDie(fd, filePath);
+    appended += record.size();
+    return record.size();
+}
+
+u64
+fileSizeBytes(const std::string &path)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return 0;
+    return static_cast<u64>(st.st_size);
+}
+
+} // namespace dopp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Crash-safe file primitives for result persistence.
+ *
+ * Two patterns cover every writer in the tree:
+ *
+ *  - atomicWriteFile(): whole-file exports (CSV/JSON results) are
+ *    written to a temporary sibling, fsync'd and renamed into place,
+ *    so a reader never observes a half-written file — after a crash
+ *    the path holds either the old contents or the new, never a
+ *    truncated mix.
+ *
+ *  - AppendLog: record-at-a-time streams (the run journal, the
+ *    DOPP_STATS_JSON dump) append each record with a single O_APPEND
+ *    write(2) followed by fsync(2), so a crash can lose at most the
+ *    one record being written — and leaves at worst one truncated
+ *    final line, never interleaved or missing earlier records.
+ *
+ * Every failure mode (open, short write, fsync, rename) is fatal with
+ * the path and errno: silently dropping campaign results is worse
+ * than dying loudly.
+ */
+
+#ifndef DOPP_UTIL_FILEIO_HH
+#define DOPP_UTIL_FILEIO_HH
+
+#include <string>
+
+#include "types.hh"
+
+namespace dopp
+{
+
+/**
+ * Atomically replace @p path with @p contents: write to a temporary
+ * file in the same directory, fsync it, and rename(2) it over
+ * @p path. Fatal with the path and errno on any failure, including a
+ * short write.
+ */
+void atomicWriteFile(const std::string &path,
+                     const std::string &contents);
+
+/**
+ * An append-only record log (O_APPEND | O_CREAT). Each append() is a
+ * single write(2) of the whole record followed by fsync(2); a short
+ * write is fatal with the path, the byte counts and errno. Callers
+ * serialize their own concurrent appends (or rely on O_APPEND
+ * atomicity for records under PIPE_BUF on local filesystems).
+ */
+class AppendLog
+{
+  public:
+    /** Open @p path for appending, creating it if needed. Fatal with
+     * errno if the file cannot be opened. */
+    explicit AppendLog(const std::string &path);
+    ~AppendLog();
+
+    AppendLog(const AppendLog &) = delete;
+    AppendLog &operator=(const AppendLog &) = delete;
+
+    /**
+     * Append @p record verbatim (callers include the trailing
+     * newline) with one write(2) + fsync(2).
+     * @return bytes written (record.size()).
+     */
+    u64 append(const std::string &record);
+
+    /** Bytes appended through this handle so far. */
+    u64 bytesAppended() const { return appended; }
+
+    /** File size at open time (resume: what a prior campaign left). */
+    u64 openedAtBytes() const { return openedAt; }
+
+    const std::string &path() const { return filePath; }
+
+  private:
+    std::string filePath;
+    int fd = -1;
+    u64 appended = 0;
+    u64 openedAt = 0;
+};
+
+/** Size of the file at @p path in bytes; 0 if it does not exist. */
+u64 fileSizeBytes(const std::string &path);
+
+} // namespace dopp
+
+#endif // DOPP_UTIL_FILEIO_HH

@@ -324,6 +324,16 @@ class StatSnapshot
     }
     bool operator!=(const StatSnapshot &o) const { return !(*this == o); }
 
+    /** Rebuild a snapshot from deserialized values (the run journal,
+     * harness/journal.hh); order must be the serialized order. */
+    static StatSnapshot
+    fromValues(std::vector<StatValue> values)
+    {
+        StatSnapshot s;
+        s.entries = std::move(values);
+        return s;
+    }
+
   private:
     friend class StatRegistry;
 

@@ -20,8 +20,10 @@
 #ifndef DOPP_WORKLOADS_RUNTIME_HH
 #define DOPP_WORKLOADS_RUNTIME_HH
 
+#include <atomic>
 #include <cstring>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -33,6 +35,18 @@
 
 namespace dopp
 {
+
+/**
+ * Thrown out of a simulated access when the run's abort flag is set
+ * (the batch runner's per-run watchdog, harness/batch_runner.hh).
+ * Unwinds the workload cooperatively — the worker thread survives and
+ * the batch runner converts the exception into a failed RunResult.
+ */
+class RunAborted : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /** Maps C++ element types to the annotation ElemType. */
 template <typename T> struct ElemTypeOf;
@@ -214,6 +228,15 @@ class SimRuntime
     MainMemory &memory() { return mem; }
     ApproxRegistry &registry() { return reg; }
 
+    /**
+     * Optional cooperative abort flag, polled every 4096 accesses on
+     * the access path (cheap: one relaxed load per poll). When it
+     * reads true the current access throws RunAborted, unwinding the
+     * workload without touching the owning thread. The flag must
+     * outlive the run.
+     */
+    const std::atomic<bool> *abortFlag = nullptr;
+
     /** Compute cycles charged alongside every access (a simple stand-in
      * for the surrounding ALU work of a 4-wide OoO core). */
     u64 workPerAccess = 2;
@@ -246,6 +269,10 @@ class SimRuntime
     tickHook()
     {
         ++accessCount;
+        if (abortFlag && (accessCount & 0xFFF) == 0 &&
+            abortFlag->load(std::memory_order_relaxed)) {
+            throw RunAborted("run aborted");
+        }
         if (periodicHook && hookPeriod && accessCount % hookPeriod == 0)
             periodicHook();
     }

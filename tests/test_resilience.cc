@@ -1,0 +1,671 @@
+/**
+ * @file
+ * Campaign resilience tests (DESIGN.md §11): journal record round-trip
+ * and corruption tolerance, config fingerprints, checkpoint/resume
+ * equivalence (a campaign killed after any number of completed runs
+ * and resumed at any job count must produce bit-identical final
+ * results to an uninterrupted jobs=1 execution), per-run watchdog
+ * timeouts, retry with backoff, and the graceful-shutdown signal
+ * handler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "harness/batch_runner.hh"
+#include "harness/journal.hh"
+#include "harness/results_io.hh"
+#include "util/fileio.hh"
+
+namespace dopp
+{
+
+namespace
+{
+
+RunConfig
+tinyConfig(const std::string &workload, LlcKind kind,
+           double scale = 0.03)
+{
+    RunConfig cfg;
+    cfg.workloadName = workload;
+    cfg.kind = kind;
+    cfg.workload.scale = scale;
+    return cfg;
+}
+
+/** A fresh temp path that is deleted when the holder dies. */
+struct TempPath
+{
+    std::string path;
+
+    TempPath()
+    {
+        char buf[] = "/tmp/doppjournal-XXXXXX";
+        const int fd = mkstemp(buf);
+        EXPECT_GE(fd, 0);
+        ::close(fd);
+        path = buf;
+    }
+
+    ~TempPath() { std::remove(path.c_str()); }
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** The 200-config campaign of the resume-equivalence suite: four
+ * workload/organization variants, each instance with its own seed so
+ * every fingerprint is distinct. */
+std::vector<RunConfig>
+campaign200()
+{
+    const RunConfig variants[] = {
+        tinyConfig("kmeans", LlcKind::Baseline, 0.01),
+        tinyConfig("kmeans", LlcKind::SplitDopp, 0.01),
+        tinyConfig("blackscholes", LlcKind::UniDopp, 0.01),
+        tinyConfig("inversek2j", LlcKind::Bdi, 0.01),
+    };
+    std::vector<RunConfig> configs;
+    configs.reserve(200);
+    for (u64 i = 0; i < 200; ++i) {
+        RunConfig cfg = variants[i % 4];
+        cfg.workload.seed = 1000 + i;
+        configs.push_back(std::move(cfg));
+    }
+    return configs;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------
+
+TEST(Journal, FingerprintIsDeterministicAndDiscriminating)
+{
+    const RunConfig base = tinyConfig("kmeans", LlcKind::SplitDopp);
+    const std::string fp = configFingerprint(base);
+
+    // Format: "<workload>/<organization>@<16 hex>".
+    EXPECT_EQ(fp.rfind("kmeans/split-doppelganger@", 0), 0u);
+    EXPECT_EQ(fp.size(),
+              std::string("kmeans/split-doppelganger@").size() + 16);
+
+    // Same config, same fingerprint.
+    EXPECT_EQ(configFingerprint(base), fp);
+
+    // Every result-affecting field moves the fingerprint.
+    RunConfig c = base;
+    c.workload.seed += 1;
+    EXPECT_NE(configFingerprint(c), fp);
+    c = base;
+    c.mapBits = 10;
+    EXPECT_NE(configFingerprint(c), fp);
+    c = base;
+    c.dataFraction = 0.5;
+    EXPECT_NE(configFingerprint(c), fp);
+    c = base;
+    c.fault.dataRate = 0.01;
+    EXPECT_NE(configFingerprint(c), fp);
+    c = base;
+    c.qor.budget = 0.001;
+    EXPECT_NE(configFingerprint(c), fp);
+    c = base;
+    c.kind = LlcKind::UniDopp;
+    EXPECT_NE(configFingerprint(c), fp);
+
+    // Observation hooks and the abort flag never affect results, so
+    // they must not move the fingerprint (hook-carrying configs are
+    // re-executed by policy, not by fingerprint mismatch).
+    c = base;
+    c.snapshotPeriod = 1000;
+    c.onSnapshot = [](const Snapshot &) {};
+    c.tracePath = "/tmp/some-trace";
+    std::atomic<bool> flag{false};
+    c.abortFlag = &flag;
+    EXPECT_EQ(configFingerprint(c), fp);
+    EXPECT_FALSE(configResumable(c));
+    EXPECT_TRUE(configResumable(base));
+}
+
+// ---------------------------------------------------------------------
+// Journal records
+// ---------------------------------------------------------------------
+
+TEST(Journal, RecordRoundTripsBitExactly)
+{
+    // A faulted + guardrailed split run exercises every compat view.
+    RunConfig cfg = tinyConfig("blackscholes", LlcKind::SplitDopp);
+    cfg.fault.dataRate = 0.01;
+    cfg.fault.tagMetaRate = 0.01;
+    cfg.qor.budget = 0.001;
+    cfg.qor.window = 16;
+    cfg.qor.minDwell = 8;
+    const RunResult live = runWorkload(cfg);
+    const std::string fp = configFingerprint(cfg);
+
+    const std::string line = journalRecordJson(fp, live);
+    std::string fpBack;
+    RunResult back;
+    std::string why;
+    ASSERT_TRUE(parseJournalRecord(line, fpBack, back, why)) << why;
+
+    EXPECT_EQ(fpBack, fp);
+    EXPECT_FALSE(back.failed);
+    EXPECT_EQ(back.workload, live.workload);
+    EXPECT_EQ(back.organization, live.organization);
+
+    // The authoritative snapshot survives exactly — so the CSV row
+    // (built purely from it) is byte-identical.
+    EXPECT_EQ(back.stats, live.stats);
+    EXPECT_EQ(runResultCsvRow(back), runResultCsvRow(live));
+
+    // Output vector and the typed compatibility views.
+    EXPECT_EQ(back.output, live.output);
+    EXPECT_EQ(back.runtime, live.runtime);
+    EXPECT_EQ(back.tagsPerDataEntry, live.tagsPerDataEntry);
+    EXPECT_EQ(back.memReads, live.memReads);
+    EXPECT_EQ(back.memWrites, live.memWrites);
+    for (const LlcStatField &f : llcStatFields()) {
+        SCOPED_TRACE(f.name);
+        EXPECT_EQ(f.get(back.llc), f.get(live.llc));
+        EXPECT_EQ(f.get(back.preciseHalf), f.get(live.preciseHalf));
+        EXPECT_EQ(f.get(back.doppHalf), f.get(live.doppHalf));
+    }
+    EXPECT_EQ(back.hierarchy.accesses, live.hierarchy.accesses);
+    EXPECT_EQ(back.hierarchy.l1Hits, live.hierarchy.l1Hits);
+    EXPECT_EQ(back.hierarchy.l2Misses, live.hierarchy.l2Misses);
+    for (unsigned d = 0; d < faultDomainCount; ++d)
+        EXPECT_EQ(back.fault.injected[d], live.fault.injected[d]);
+    EXPECT_EQ(back.fault.detected, live.fault.detected);
+    EXPECT_EQ(back.guardrailDegradations, live.guardrailDegradations);
+    EXPECT_EQ(back.guardrailDegradedOps, live.guardrailDegradedOps);
+    EXPECT_EQ(back.guardrailEstimate, live.guardrailEstimate);
+    EXPECT_EQ(back.doppConfig.tagEntries, live.doppConfig.tagEntries);
+    EXPECT_EQ(back.doppConfig.dataEntries,
+              live.doppConfig.dataEntries);
+    EXPECT_EQ(back.doppConfig.mapBits, live.doppConfig.mapBits);
+    EXPECT_EQ(back.doppConfig.unified, live.doppConfig.unified);
+}
+
+TEST(Journal, MissingFileLoadsEmpty)
+{
+    const LoadedJournal j =
+        loadJournal("/tmp/dopp-definitely-not-a-journal.jsonl");
+    EXPECT_TRUE(j.records.empty());
+    EXPECT_EQ(j.recordsLoaded, 0u);
+    EXPECT_EQ(j.recordsDiscarded, 0u);
+    EXPECT_EQ(j.bytes, 0u);
+}
+
+TEST(Journal, TruncatedLastLineIsDiscarded)
+{
+    const RunConfig cfg = tinyConfig("kmeans", LlcKind::Baseline);
+    const RunResult r = runWorkload(cfg);
+    const std::string a =
+        journalRecordJson(configFingerprint(cfg), r);
+
+    RunConfig cfg2 = cfg;
+    cfg2.workload.seed = 777;
+    const std::string b =
+        journalRecordJson(configFingerprint(cfg2), runWorkload(cfg2));
+
+    TempPath tmp;
+    {
+        std::ofstream out(tmp.path, std::ios::binary);
+        out << a;
+        out << b.substr(0, b.size() / 2); // crash mid-write
+    }
+    const LoadedJournal j = loadJournal(tmp.path);
+    EXPECT_EQ(j.recordsLoaded, 1u);
+    EXPECT_EQ(j.recordsDiscarded, 1u);
+    ASSERT_EQ(j.records.size(), 1u);
+    EXPECT_EQ(j.records.count(configFingerprint(cfg)), 1u);
+}
+
+TEST(Journal, UnknownSchemaIsDiscarded)
+{
+    const RunConfig cfg = tinyConfig("kmeans", LlcKind::Baseline);
+    const std::string fp = configFingerprint(cfg);
+    const std::string good = journalRecordJson(fp, runWorkload(cfg));
+
+    // An unknown top-level column: a future schema we must not guess
+    // our way through.
+    std::string extraColumn = good;
+    extraColumn.insert(extraColumn.find(",\"fp\""),
+                       ",\"futureField\":42");
+    // An unknown schema version.
+    std::string badVersion = good;
+    badVersion.replace(badVersion.find("{\"v\":1"), 6, "{\"v\":9");
+
+    TempPath tmp;
+    {
+        std::ofstream out(tmp.path, std::ios::binary);
+        out << extraColumn << badVersion << good;
+    }
+    const LoadedJournal j = loadJournal(tmp.path);
+    EXPECT_EQ(j.recordsLoaded, 1u);
+    EXPECT_EQ(j.recordsDiscarded, 2u);
+    EXPECT_EQ(j.records.count(fp), 1u);
+}
+
+TEST(Journal, DuplicateFingerprintKeepsLastRecord)
+{
+    const RunConfig cfg = tinyConfig("kmeans", LlcKind::Baseline);
+    const std::string fp = configFingerprint(cfg);
+    RunResult r = runWorkload(cfg);
+    const std::string first = journalRecordJson(fp, r);
+    r.output.push_back(123.5); // distinguishable later record
+    const std::string second = journalRecordJson(fp, r);
+
+    TempPath tmp;
+    {
+        std::ofstream out(tmp.path, std::ios::binary);
+        out << first << second;
+    }
+    const LoadedJournal j = loadJournal(tmp.path);
+    EXPECT_EQ(j.recordsLoaded, 2u);
+    EXPECT_EQ(j.recordsDiscarded, 0u);
+    ASSERT_EQ(j.records.size(), 1u);
+    EXPECT_EQ(j.records.at(fp).output.back(), 123.5);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint/resume
+// ---------------------------------------------------------------------
+
+TEST(Resilience, SecondCampaignResumesEverything)
+{
+    const std::vector<RunConfig> configs = {
+        tinyConfig("kmeans", LlcKind::Baseline),
+        tinyConfig("jpeg", LlcKind::UniDopp),
+    };
+    TempPath journal;
+
+    BatchOptions opt;
+    opt.jobs = 1;
+    const BatchOutcome first =
+        runBatchResumable(configs, journal.path, opt);
+    EXPECT_EQ(first.runsExecuted, 2u);
+    EXPECT_EQ(first.runsResumed, 0u);
+    EXPECT_EQ(first.runsFailed, 0u);
+
+    size_t resumedSeen = 0;
+    BatchOptions opt2;
+    opt2.jobs = 1;
+    opt2.onProgress = [&](const BatchProgress &p) {
+        EXPECT_TRUE(p.resumed);
+        EXPECT_FALSE(p.result.failed);
+        ++resumedSeen;
+    };
+    const BatchOutcome second =
+        runBatchResumable(configs, journal.path, opt2);
+    EXPECT_EQ(second.runsExecuted, 0u);
+    EXPECT_EQ(second.runsResumed, 2u);
+    EXPECT_EQ(resumedSeen, 2u);
+    for (size_t i = 0; i < configs.size(); ++i) {
+        EXPECT_EQ(runResultCsvRow(first.results[i]),
+                  runResultCsvRow(second.results[i]));
+        EXPECT_EQ(first.results[i].output, second.results[i].output);
+    }
+}
+
+TEST(Resilience, ResumeEquivalenceAtEveryCutPoint)
+{
+    // The acceptance bar: a 200-config campaign killed after
+    // N ∈ {0, 1, half, all} completed runs and resumed at jobs=4
+    // must produce a final CSV byte-identical to an uninterrupted
+    // jobs=1 execution.
+    const std::vector<RunConfig> configs = campaign200();
+
+    BatchOptions serial;
+    serial.jobs = 1;
+    const std::vector<RunResult> reference =
+        runBatch(configs, serial);
+    TempPath referenceCsv;
+    writeResultsCsv(referenceCsv.path, reference);
+    const std::string referenceBytes = readFile(referenceCsv.path);
+
+    for (size_t cut : {size_t{0}, size_t{1}, size_t{100},
+                       size_t{200}}) {
+        SCOPED_TRACE("cut after " + std::to_string(cut) + " runs");
+        TempPath journal;
+
+        // Phase 1: the campaign dies after `cut` completed runs —
+        // the cancel flag stands in for the kill, since both leave
+        // the same on-disk state: a journal holding exactly the
+        // completed runs.
+        std::atomic<bool> cancel{cut == 0};
+        BatchOptions interrupted;
+        interrupted.jobs = 1;
+        interrupted.cancel = &cancel;
+        interrupted.onProgress = [&](const BatchProgress &p) {
+            if (!p.result.failed && p.completed >= cut)
+                cancel.store(true, std::memory_order_release);
+        };
+        const BatchOutcome partial =
+            runBatchResumable(configs, journal.path, interrupted);
+        if (cut < configs.size()) {
+            EXPECT_TRUE(partial.interrupted);
+        }
+        EXPECT_EQ(partial.runsExecuted,
+                  std::min(cut, configs.size()));
+
+        // Phase 2: resume with a wider pool.
+        BatchOptions resumed;
+        resumed.jobs = 4;
+        const BatchOutcome full =
+            runBatchResumable(configs, journal.path, resumed);
+        EXPECT_EQ(full.runsResumed, cut);
+        EXPECT_EQ(full.runsExecuted, configs.size() - cut);
+        EXPECT_EQ(full.runsFailed, 0u);
+        EXPECT_FALSE(full.interrupted);
+
+        TempPath resumedCsv;
+        writeResultsCsv(resumedCsv.path, full.results);
+        EXPECT_EQ(readFile(resumedCsv.path), referenceBytes);
+    }
+}
+
+TEST(Resilience, DuplicateConfigsShareOneJournalRecord)
+{
+    const std::vector<RunConfig> configs(
+        4, tinyConfig("kmeans", LlcKind::Baseline));
+    TempPath journal;
+    BatchOptions opt;
+    opt.jobs = 2;
+    const BatchOutcome first =
+        runBatchResumable(configs, journal.path, opt);
+    EXPECT_EQ(first.runsExecuted, 4u);
+
+    // All four runs share a fingerprint, so the journal holds one
+    // record — and by the determinism contract it stands in for any
+    // of them.
+    const LoadedJournal j = loadJournal(journal.path);
+    EXPECT_EQ(j.recordsLoaded, 1u);
+
+    const BatchOutcome second =
+        runBatchResumable(configs, journal.path, opt);
+    EXPECT_EQ(second.runsResumed, 4u);
+    EXPECT_EQ(second.runsExecuted, 0u);
+    for (size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(runResultCsvRow(second.results[i]),
+                  runResultCsvRow(first.results[i]));
+    }
+}
+
+TEST(Resilience, CorruptedJournalRecordsReRun)
+{
+    const std::vector<RunConfig> configs = {
+        tinyConfig("kmeans", LlcKind::Baseline),
+        tinyConfig("jpeg", LlcKind::UniDopp),
+        tinyConfig("blackscholes", LlcKind::SplitDopp),
+    };
+    TempPath journal;
+    BatchOptions opt;
+    opt.jobs = 1;
+    const BatchOutcome clean =
+        runBatchResumable(configs, journal.path, opt);
+    EXPECT_EQ(clean.runsExecuted, 3u);
+
+    // Truncate the final record mid-line: the crash-window case.
+    std::string contents = readFile(journal.path);
+    const size_t lastLine =
+        contents.rfind('\n', contents.size() - 2) + 1;
+    contents.resize(lastLine + (contents.size() - lastLine) / 2);
+    {
+        std::ofstream out(journal.path,
+                          std::ios::binary | std::ios::trunc);
+        out << contents;
+    }
+
+    const BatchOutcome recovered =
+        runBatchResumable(configs, journal.path, opt);
+    EXPECT_EQ(recovered.runsResumed, 2u);
+    EXPECT_EQ(recovered.runsExecuted, 1u); // the corrupted one
+    EXPECT_EQ(recovered.runsFailed, 0u);
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(runResultCsvRow(recovered.results[i]),
+                  runResultCsvRow(clean.results[i]));
+    }
+}
+
+TEST(Resilience, HookConfigsReExecuteButStillJournal)
+{
+    // Figure benches build their output from snapshot hooks, which a
+    // journal cannot replay: hook-carrying configs must re-execute on
+    // every campaign. Their records are still written, so the same
+    // config *without* hooks can resume from them.
+    RunConfig hooked = tinyConfig("kmeans", LlcKind::SplitDopp);
+    hooked.snapshotPeriod = 1000;
+    std::atomic<u64> snapshots{0};
+    hooked.onSnapshot = [&](const Snapshot &) { ++snapshots; };
+
+    TempPath journal;
+    BatchOptions opt;
+    opt.jobs = 1;
+    const BatchOutcome first =
+        runBatchResumable({hooked}, journal.path, opt);
+    EXPECT_EQ(first.runsExecuted, 1u);
+    const u64 firstSnapshots = snapshots.load();
+    EXPECT_GT(firstSnapshots, 0u);
+
+    const BatchOutcome second =
+        runBatchResumable({hooked}, journal.path, opt);
+    EXPECT_EQ(second.runsResumed, 0u);
+    EXPECT_EQ(second.runsExecuted, 1u);
+    EXPECT_EQ(snapshots.load(), 2 * firstSnapshots) <<
+        "hook did not re-fire on resume";
+
+    RunConfig bare = tinyConfig("kmeans", LlcKind::SplitDopp);
+    const BatchOutcome third =
+        runBatchResumable({bare}, journal.path, opt);
+    EXPECT_EQ(third.runsResumed, 1u);
+    EXPECT_EQ(third.runsExecuted, 0u);
+    EXPECT_EQ(runResultCsvRow(third.results[0]),
+              runResultCsvRow(first.results[0]));
+}
+
+TEST(Resilience, CancelledRunsAreReportedAndNotJournaled)
+{
+    const std::vector<RunConfig> configs(
+        3, tinyConfig("kmeans", LlcKind::Baseline));
+    std::atomic<bool> cancel{true};
+    TempPath journal;
+
+    size_t reported = 0;
+    BatchOptions opt;
+    opt.jobs = 1;
+    opt.cancel = &cancel;
+    opt.onProgress = [&](const BatchProgress &p) {
+        EXPECT_TRUE(p.result.failed);
+        EXPECT_EQ(p.result.error, "cancelled");
+        EXPECT_FALSE(p.resumed);
+        ++reported;
+    };
+    const BatchOutcome out =
+        runBatchResumable(configs, journal.path, opt);
+    EXPECT_EQ(reported, 3u); // cancelled runs still report progress
+    EXPECT_EQ(out.runsFailed, 3u);
+    EXPECT_TRUE(out.interrupted);
+    EXPECT_EQ(loadJournal(journal.path).recordsLoaded, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Watchdog and retry
+// ---------------------------------------------------------------------
+
+TEST(Resilience, WatchdogTimesOutWedgedRunWithoutKillingPool)
+{
+    // The wedged run sleeps 600 ms of wall time in its first snapshot
+    // hook, so it always overruns the 500 ms deadline regardless of
+    // how fast (or how loaded) the host is; the abort lands at the
+    // next cooperative poll after the hook returns.  The pool-mate is
+    // a ~10 ms run with a 50x margin against the shared deadline, so
+    // it must complete undisturbed even on a heavily loaded machine.
+    std::vector<RunConfig> configs;
+    configs.push_back(tinyConfig("kmeans", LlcKind::Baseline, 0.05));
+    configs[0].snapshotPeriod = 64;
+    bool slept = false;
+    configs[0].onSnapshot = [&slept](const Snapshot &) {
+        if (!slept) {
+            slept = true;
+            std::this_thread::sleep_for(std::chrono::milliseconds(600));
+        }
+    };
+    configs.push_back(tinyConfig("kmeans", LlcKind::Baseline, 0.01));
+
+    StatRegistry reg;
+    BatchOptions opt;
+    opt.jobs = 2;
+    opt.runTimeoutMs = 500;
+    opt.stats = &reg;
+    const std::vector<RunResult> results = runBatch(configs, opt);
+
+    ASSERT_TRUE(results[0].failed);
+    EXPECT_EQ(results[0].error, "timeout");
+    EXPECT_EQ(results[0].workload, "kmeans");
+    ASSERT_FALSE(results[1].failed) << results[1].error;
+    EXPECT_GT(results[1].runtime, 0u);
+
+    const StatSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counter("batch.runsTimedOut"), 1u);
+    EXPECT_EQ(snap.counter("batch.runsExecuted"), 2u);
+    EXPECT_EQ(snap.counter("batch.runsFailed"), 1u);
+    EXPECT_EQ(snap.counter("batch.runsRetried"), 0u);
+}
+
+TEST(Resilience, TimeoutRetriesWithBackoffThenFails)
+{
+    std::vector<RunConfig> configs;
+    configs.push_back(tinyConfig("kmeans", LlcKind::Baseline, 0.5));
+
+    StatRegistry reg;
+    BatchOptions opt;
+    opt.jobs = 1;
+    opt.runTimeoutMs = 1;
+    opt.maxRetries = 2;
+    opt.retryBackoffMs = 1;
+    opt.stats = &reg;
+    const std::vector<RunResult> results = runBatch(configs, opt);
+
+    ASSERT_TRUE(results[0].failed);
+    EXPECT_EQ(results[0].error, "timeout");
+    const StatSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counter("batch.runsExecuted"), 3u); // 1 + 2 retries
+    EXPECT_EQ(snap.counter("batch.runsRetried"), 2u);
+    EXPECT_EQ(snap.counter("batch.runsTimedOut"), 3u);
+}
+
+TEST(Resilience, TransientFailureRetriesToSuccess)
+{
+    // A hook that throws exactly once models a transient failure; the
+    // retry re-executes from the identical config and succeeds.
+    std::atomic<u64> attempts{0};
+    RunConfig flaky = tinyConfig("kmeans", LlcKind::Baseline);
+    flaky.snapshotPeriod = 1000;
+    flaky.onSnapshot = [&](const Snapshot &) {
+        if (attempts.fetch_add(1) == 0)
+            throw std::runtime_error("transient I/O hiccup");
+    };
+
+    StatRegistry reg;
+    BatchOptions opt;
+    opt.jobs = 1;
+    opt.maxRetries = 1;
+    opt.retryBackoffMs = 1;
+    opt.stats = &reg;
+    const std::vector<RunResult> results = runBatch({flaky}, opt);
+
+    ASSERT_FALSE(results[0].failed) << results[0].error;
+    EXPECT_GT(results[0].runtime, 0u);
+    const StatSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counter("batch.runsRetried"), 1u);
+    EXPECT_EQ(snap.counter("batch.runsExecuted"), 2u);
+    EXPECT_EQ(snap.counter("batch.runsFailed"), 0u);
+}
+
+TEST(Resilience, CancelledAndUnnamedConfigsNeverRetry)
+{
+    std::vector<RunConfig> configs;
+    configs.push_back(RunConfig{}); // no workloadName
+
+    StatRegistry reg;
+    BatchOptions opt;
+    opt.jobs = 1;
+    opt.maxRetries = 5;
+    opt.retryBackoffMs = 1;
+    opt.stats = &reg;
+    const std::vector<RunResult> results = runBatch(configs, opt);
+    EXPECT_TRUE(results[0].failed);
+    EXPECT_EQ(reg.snapshot().counter("batch.runsRetried"), 0u);
+}
+
+TEST(Resilience, JournalBytesCounterTracksAppends)
+{
+    const std::vector<RunConfig> configs = {
+        tinyConfig("kmeans", LlcKind::Baseline),
+        tinyConfig("jpeg", LlcKind::UniDopp),
+    };
+    TempPath journal;
+    StatRegistry reg;
+    BatchOptions opt;
+    opt.jobs = 1;
+    opt.stats = &reg;
+    runBatchResumable(configs, journal.path, opt);
+
+    const u64 counted = reg.snapshot().counter("batch.journalBytes");
+    EXPECT_GT(counted, 0u);
+    EXPECT_EQ(counted, fileSizeBytes(journal.path));
+}
+
+// ---------------------------------------------------------------------
+// Shutdown
+// ---------------------------------------------------------------------
+
+TEST(ResilienceDeathTest, EmptyJournalPathIsFatal)
+{
+    EXPECT_EXIT(
+        runBatchResumable({tinyConfig("kmeans", LlcKind::Baseline)},
+                          "", {}),
+        ::testing::ExitedWithCode(1), "empty journal path");
+}
+
+TEST(ResilienceDeathTest, SignalHandlerFlipsFlagThenRestoresDefault)
+{
+    // In the child: the first SIGTERM is caught (flag set, default
+    // disposition restored), the second kills the process — exactly
+    // the graceful-then-forceful contract.
+    EXPECT_EXIT(
+        {
+            const std::atomic<bool> *flag =
+                installBatchSignalHandler();
+            std::raise(SIGTERM);
+            if (!flag->load())
+                _exit(3); // handler did not run
+            std::raise(SIGTERM);
+            _exit(4); // second signal should have killed us
+        },
+        ::testing::KilledBySignal(SIGTERM), "");
+}
+
+} // namespace dopp
+
