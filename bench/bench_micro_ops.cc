@@ -48,6 +48,28 @@ BM_MapGeneration(benchmark::State &state)
 }
 
 void
+BM_MapGenerationGeneric(benchmark::State &state)
+{
+    // Reference per-element blockElement() path; the ratio of
+    // BM_MapGeneration to this is the monomorphized-kernel speedup.
+    const ElemType type = static_cast<ElemType>(state.range(0));
+    Rng rng(42);
+    BlockData block = randomBlock(rng);
+    MapParams params;
+    params.mapBits = 14;
+    params.type = type;
+    params.minValue = 0.0;
+    params.maxValue = 255.0;
+
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            computeMapComponentsGeneric(block.data(), params).combined);
+        block[0] = static_cast<u8>(block[0] + 1);
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+
+void
 BM_BdiCompress(benchmark::State &state)
 {
     Rng rng(42);
@@ -151,6 +173,11 @@ BM_HierarchyAccess(benchmark::State &state)
 }
 
 BENCHMARK(BM_MapGeneration)
+    ->Arg(static_cast<int>(ElemType::U8))
+    ->Arg(static_cast<int>(ElemType::I32))
+    ->Arg(static_cast<int>(ElemType::F32))
+    ->Arg(static_cast<int>(ElemType::F64));
+BENCHMARK(BM_MapGenerationGeneric)
     ->Arg(static_cast<int>(ElemType::U8))
     ->Arg(static_cast<int>(ElemType::I32))
     ->Arg(static_cast<int>(ElemType::F32))

@@ -44,3 +44,16 @@ env "${SMOKE_ENV[@]}" DOPP_JOURNAL="$SMOKE_DIR/journal.jsonl" \
     "$BUILD_DIR/bench/bench_fault_campaign" > "$SMOKE_DIR/resumed.txt"
 diff "$SMOKE_DIR/clean.txt" "$SMOKE_DIR/resumed.txt"
 echo "ci: kill-and-resume smoke test passed"
+
+# Perf-harness smoke: run bench_perf with tiny iteration counts
+# (report-only — throughput numbers are not gated) and require its
+# JSON schema (the sorted key set) to match the committed
+# BENCH_perf.json, so the benchmark trajectory cannot silently drift.
+"$BUILD_DIR/bench/bench_perf" --smoke --out "$SMOKE_DIR/BENCH_perf.json" \
+    > "$SMOKE_DIR/bench_perf.txt"
+json_keys() { grep -o '"[A-Za-z0-9_]*":' "$1" | sort -u; }
+diff <(json_keys BENCH_perf.json) <(json_keys "$SMOKE_DIR/BENCH_perf.json") || {
+    echo "ci: BENCH_perf.json schema drifted from the committed baseline" >&2
+    exit 1
+}
+echo "ci: bench_perf smoke + schema check passed"

@@ -11,8 +11,12 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-sanitize}"
 shift || true
 
+# float-cast-overflow is listed explicitly: GCC's `undefined` group
+# does NOT include it, and it is exactly the check that catches an
+# out-of-range double-to-u64 conversion in the map function's bypass
+# path (a huge declared `lo` used to push `avgHash - lo` past 2^64).
 cmake -B "$BUILD_DIR" -S . \
-    -DDOPP_SANITIZE="address;undefined" \
+    -DDOPP_SANITIZE="address;undefined;float-cast-overflow" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
@@ -43,4 +47,12 @@ DOPP_JOBS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
 # the checkpoint/resume machinery would hide.
 DOPP_JOBS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
     -j "$(nproc)" -R 'Resilience|Journal' "$@"
+
+# Re-run the map-function edge tests explicitly: the bypass-path
+# double-to-u64 clamps, the degenerate map widths and the kernel
+# equality sweep are exactly where float-cast-overflow / shift UB
+# would reappear.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+    -R 'MapFunction|MapEdgeCases|MapBitsExtremes|MapSpaceSweep|MapTypeSweep|KernelMatchesGeneric' \
+    "$@"
 echo "sanitize_check: all tests passed under ASan+UBSan"

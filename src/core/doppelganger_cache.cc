@@ -20,6 +20,7 @@ DoppelgangerCache::DoppelgangerCache(MainMemory &memory,
                                      const std::string &stat_group)
     : LastLevelCache(memory, stat_registry, stat_group), cfg(config),
       registry(registry),
+      hasMapOverride(static_cast<bool>(config.mapOverride)),
       tags(config.tagEntries / config.tagWays, config.tagWays,
            config.tagPolicy),
       tagSlicer(config.tagEntries / config.tagWays),
@@ -30,6 +31,10 @@ DoppelgangerCache::DoppelgangerCache(MainMemory &memory,
         config.dataEntries % config.dataWays != 0) {
         fatal("doppelganger: entries must be a multiple of ways");
     }
+    defaultParams.mapBits = cfg.mapBits;
+    defaultParams.type = cfg.defaultType;
+    defaultParams.minValue = cfg.defaultMin;
+    defaultParams.maxValue = cfg.defaultMax;
     if (config.dataEntries > config.tagEntries)
         warn("doppelganger: data array larger than tag array");
     initLlcCounters();
@@ -129,29 +134,67 @@ DoppelgangerCache::dataIndexOfTag(const TagEntry &t) const
     return idx;
 }
 
+void
+DoppelgangerCache::buildParamCache() const
+{
+    paramCache.clear();
+    for (const ApproxRegion &r : registry->regions()) {
+        CachedRegion c;
+        c.base = r.base;
+        c.end = r.base + r.size;
+        c.params.mapBits = cfg.mapBits;
+        c.params.type = r.type;
+        c.params.minValue = r.minValue;
+        c.params.maxValue = r.maxValue;
+        paramCache.push_back(c);
+    }
+    hotParam = -1;
+    paramGen = registry->generation();
+    paramsCached = true;
+}
+
 MapParams
 DoppelgangerCache::paramsFor(Addr addr) const
 {
-    MapParams p;
-    p.mapBits = cfg.mapBits;
-    const ApproxRegion *region = registry ? registry->find(addr) : nullptr;
-    if (region) {
-        p.type = region->type;
-        p.minValue = region->minValue;
-        p.maxValue = region->maxValue;
+    if (!registry)
+        return defaultParams;
+    if (!paramsCached) {
+        // Lazy: the LLC is built before workloads annotate their
+        // regions, so the first access — not construction — sees the
+        // final registry.
+        buildParamCache();
     } else {
-        p.type = cfg.defaultType;
-        p.minValue = cfg.defaultMin;
-        p.maxValue = cfg.defaultMax;
+        DOPP_ASSERT(paramGen == registry->generation() &&
+                    "approx registry mutated after run start");
     }
-    return p;
+
+    if (hotParam >= 0) {
+        const CachedRegion &hot =
+            paramCache[static_cast<size_t>(hotParam)];
+        if (addr >= hot.base && addr < hot.end)
+            return hot.params;
+    }
+
+    // Binary search mirroring ApproxRegistry::find: last region whose
+    // base is <= addr, if it spans addr.
+    const auto it = std::upper_bound(
+        paramCache.begin(), paramCache.end(), addr,
+        [](Addr a, const CachedRegion &c) { return a < c.base; });
+    if (it != paramCache.begin()) {
+        const auto cand = std::prev(it);
+        if (addr >= cand->base && addr < cand->end) {
+            hotParam = static_cast<i32>(cand - paramCache.begin());
+            return cand->params;
+        }
+    }
+    return defaultParams;
 }
 
 u64
 DoppelgangerCache::mapFor(Addr addr, const u8 *bytes) const
 {
     const MapParams p = paramsFor(addr);
-    if (cfg.mapOverride)
+    if (hasMapOverride)
         return cfg.mapOverride(bytes, p);
     return computeMap(bytes, p, cfg.hashMode);
 }
@@ -217,7 +260,7 @@ DoppelgangerCache::evictDataEntry(i32 data_idx)
         TagEntry &t = tagAt(cur);
         const i32 next = t.next;
         writebackTag(cur, d);
-        t.valid = false;
+        setTagValid(cur, false);
         t.prev = -1;
         t.next = -1;
         ++ctr->evictions;
@@ -225,7 +268,7 @@ DoppelgangerCache::evictDataEntry(i32 data_idx)
         cur = next;
     }
     d.head = -1;
-    d.valid = false;
+    setDataValid(data_idx, false);
     ++ctr->dataEvictions;
     ctr->linkedTagsSum += count;
     ++ctr->linkedTagsSamples;
@@ -242,12 +285,12 @@ DoppelgangerCache::evictTagEntry(i32 tag_idx)
 
     writebackTag(tag_idx, d);
     const bool empty = unlink(tag_idx, data_idx);
-    t.valid = false;
+    setTagValid(tag_idx, false);
     ++ctr->evictions;
 
     if (empty) {
         // Sole tag: its data entry goes too (Sec 3.5).
-        d.valid = false;
+        setDataValid(data_idx, false);
         ++ctr->dataEvictions;
         ctr->linkedTagsSum += 1;
         ++ctr->linkedTagsSamples;
@@ -274,7 +317,9 @@ DoppelgangerCache::allocateDataEntry(u32 set)
     if (cfg.tagCountAwareData && dataAt(idx).valid) {
         // The set is full: prefer the way with the fewest linked tags
         // (cheapest eviction); the base policy's pick breaks ties.
-        u64 best = linkedTagCount(idx);
+        // Count up to the whole tag array: the stats-path saturation
+        // cap (64) would make every heavily shared entry tie.
+        u64 best = linkedTagCount(idx, cfg.tagEntries);
         for (u32 w = 0; w < cfg.dataWays && best > 1; ++w) {
             const i32 cand = static_cast<i32>(set * cfg.dataWays + w);
             const u64 count = linkedTagCount(cand, best);
@@ -302,7 +347,7 @@ DoppelgangerCache::insertBlock(Addr addr, const u8 *bytes)
         evictTagEntry(tidx);
 
     TagEntry &t = tagAt(tidx);
-    t.valid = true;
+    setTagValid(tidx, true);
     t.tag = tagSlicer.tag(addr);
     t.dirty = false;
     t.prev = -1;
@@ -327,7 +372,7 @@ DoppelgangerCache::insertBlock(Addr addr, const u8 *bytes)
         const u32 dset = dataSetOfMap(addr >> blockOffsetBits);
         const i32 didx = allocateDataEntry(dset);
         DataEntry &d = dataAt(didx);
-        d.valid = true;
+        setDataValid(didx, true);
         d.precise = true;
         d.tag = blockAlign(addr);
         d.head = tidx;
@@ -362,7 +407,7 @@ DoppelgangerCache::insertBlock(Addr addr, const u8 *bytes)
     const u32 dset = dataSetOfMap(map);
     const i32 didx = allocateDataEntry(dset);
     DataEntry &d = dataAt(didx);
-    d.valid = true;
+    setDataValid(didx, true);
     d.precise = false;
     d.tag = map;
     d.head = -1;
@@ -458,7 +503,7 @@ DoppelgangerCache::writeback(Addr addr, const u8 *bytes)
     if (unlink(tidx, oldIdx)) {
         // This tag was the sole user; the entry's data is superseded
         // by this very write, so it is freed without a writeback.
-        dataAt(oldIdx).valid = false;
+        setDataValid(oldIdx, false);
         ++ctr->dataEvictions;
     }
 
@@ -479,7 +524,7 @@ DoppelgangerCache::writeback(Addr addr, const u8 *bytes)
     const u32 dset = dataSetOfMap(newMap);
     const i32 didx = allocateDataEntry(dset);
     DataEntry &d = dataAt(didx);
-    d.valid = true;
+    setDataValid(didx, true);
     d.precise = false;
     d.tag = newMap;
     d.head = -1;
@@ -729,7 +774,7 @@ DoppelgangerCache::injectTagMetaFault()
         unsigned width;
         if (t.precise)
             width = ceilLog2(std::max<u64>(totalData, 2)) + 1;
-        else if (cfg.mapOverride)
+        else if (hasMapOverride)
             width = 64; // content-hash override stores full 64-bit maps
         else
             width = mapWidth(paramsFor(tagAddr(idx)), cfg.hashMode);
@@ -790,7 +835,7 @@ DoppelgangerCache::injectMTagMetaFault()
         unsigned width;
         if (d.precise)
             width = 32; // block-address tag
-        else if (cfg.mapOverride)
+        else if (hasMapOverride)
             width = 64;
         else if (d.head >= 0 &&
                  static_cast<u64>(d.head) < totalTags)
@@ -905,7 +950,7 @@ DoppelgangerCache::repairMetadata()
                 mem.writeBlock(tagAddr(tidx), upward.data());
                 ++ctr->dirtyWritebacks;
             }
-            t.valid = false;
+            setTagValid(tidx, false);
             t.prev = -1;
             t.next = -1;
             ++tagsDropped;
@@ -916,7 +961,7 @@ DoppelgangerCache::repairMetadata()
     for (u64 i = 0; i < totalData; ++i) {
         DataEntry &d = dataAt(static_cast<i32>(i));
         if (d.valid && d.head < 0) {
-            d.valid = false;
+            setDataValid(static_cast<i32>(i), false);
             ++entriesDropped;
         }
     }

@@ -245,8 +245,18 @@ class DoppelgangerCache : public LastLevelCache
     /** Data entry a (valid) tag currently points at. */
     i32 dataIndexOfTag(const TagEntry &t) const;
 
-    /** Map parameters (type/range/M) for a block address. */
+    /**
+     * Map parameters (type/range/M) for a block address, served from
+     * the per-region cache. The cache is built lazily on the first
+     * call (the LLC is constructed before workloads annotate their
+     * regions); after that the registry must stay untouched — mirrors
+     * the paper's start-of-application range transfer (Sec 4.1) and
+     * is asserted via ApproxRegistry::generation().
+     */
     MapParams paramsFor(Addr addr) const;
+
+    /** Snapshot the registry into paramCache (see paramsFor). */
+    void buildParamCache() const;
 
     /** Compute the map of @p bytes at @p addr, honoring mapOverride. */
     u64 mapFor(Addr addr, const u8 *bytes) const;
@@ -312,8 +322,51 @@ class DoppelgangerCache : public LastLevelCache
     void observeClean();
     /// @}
 
+    /** Set a tag entry's validity by flattened index, keeping the
+     * array's incremental valid count exact. */
+    void
+    setTagValid(i32 idx, bool v)
+    {
+        tags.setValid(static_cast<u32>(idx) / cfg.tagWays,
+                      static_cast<u32>(idx) % cfg.tagWays, v);
+    }
+
+    /** Set a data entry's validity by flattened index. */
+    void
+    setDataValid(i32 idx, bool v)
+    {
+        data.setValid(static_cast<u32>(idx) / cfg.dataWays,
+                      static_cast<u32>(idx) % cfg.dataWays, v);
+    }
+
     DoppConfig cfg;
     const ApproxRegistry *registry;
+
+    /** True iff cfg.mapOverride is installed; cached so the hot path
+     * tests one byte instead of a std::function every access. */
+    bool hasMapOverride;
+
+    /** One cached [base, end) → MapParams translation. */
+    struct CachedRegion
+    {
+        Addr base = 0;
+        Addr end = 0;
+        MapParams params;
+    };
+
+    /** Per-region MapParams, sorted by base; see paramsFor(). Mutable
+     * because the build is lazily triggered from const lookups. */
+    mutable std::vector<CachedRegion> paramCache;
+    /** Most recently hit cache slot (index into paramCache), or -1.
+     * Accesses stream through one region at a time, so this memo
+     * short-circuits the binary search almost always. */
+    mutable i32 hotParam = -1;
+    /** Registry generation paramCache was built against. */
+    mutable u64 paramGen = 0;
+    mutable bool paramsCached = false;
+
+    /** Fallback for addresses outside every region. */
+    MapParams defaultParams;
 
     SetAssocArray<TagEntry> tags;
     AddrSlicer tagSlicer;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/map_kernels.hh"
 #include "util/bitfield.hh"
 #include "util/logging.hh"
 
@@ -38,32 +39,23 @@ clampValue(double v, double lo, double hi)
     return std::clamp(v, lo, hi);
 }
 
-} // namespace
-
+/**
+ * Shared mapping tail (Sec 3.7 step 2): bin the two hashes and
+ * assemble the combined map. Both the monomorphized kernel path and
+ * the generic reference path funnel through here, so the two can only
+ * differ in the element reduction itself.
+ */
 MapComponents
-computeMapComponents(const u8 *block, const MapParams &params,
-                     MapHashMode mode)
+finishMapComponents(const BlockSummary &s, const MapParams &params,
+                    MapHashMode mode)
 {
-    DOPP_ASSERT(params.mapBits >= 1 && params.mapBits <= 30);
-
     const unsigned n = elemsPerBlock(params.type);
     const double lo = params.minValue;
     const double hi = params.maxValue;
 
     MapComponents out;
-
-    double sum = 0.0;
-    double mn = clampValue(blockElement(block, params.type, 0), lo, hi);
-    double mx = mn;
-    for (unsigned i = 0; i < n; ++i) {
-        const double v =
-            clampValue(blockElement(block, params.type, i), lo, hi);
-        sum += v;
-        mn = std::min(mn, v);
-        mx = std::max(mx, v);
-    }
-    out.avgHash = sum / static_cast<double>(n);
-    out.rangeHash = mx - mn;
+    out.avgHash = s.sum / static_cast<double>(n);
+    out.rangeHash = s.max - s.min;
 
     const unsigned M = params.mapBits;
     // Sec 3.7: if M exceeds the element width, binning would leave the
@@ -74,12 +66,18 @@ computeMapComponents(const u8 *block, const MapParams &params,
     u64 avgMap;
     u64 rangeFull;
     if (bypass) {
-        // Integer hash used directly (truncated toward zero).
-        avgMap = static_cast<u64>(out.avgHash - lo);
-        rangeFull = static_cast<u64>(out.rangeHash);
+        // Integer hash used directly (truncated toward zero). Clamp in
+        // the double domain before converting: rounding of the
+        // clamped-lane sum can leave avgHash a hair below lo, and a
+        // huge declared range can push the difference past 2^64 —
+        // either double-to-u64 cast would be undefined behaviour
+        // (UBSan float-cast-overflow).
         const u64 cap = lowMask(fullBits);
-        avgMap = std::min(avgMap, cap);
-        rangeFull = std::min(rangeFull, cap);
+        const double capD = static_cast<double>(cap);
+        avgMap = static_cast<u64>(
+            std::clamp(out.avgHash - lo, 0.0, capD));
+        rangeFull =
+            static_cast<u64>(std::clamp(out.rangeHash, 0.0, capD));
     } else {
         avgMap = binHash(out.avgHash, lo, hi, fullBits);
         rangeFull = binHash(out.rangeHash, 0.0, hi - lo, fullBits);
@@ -113,6 +111,44 @@ computeMapComponents(const u8 *block, const MapParams &params,
         break;
     }
     return out;
+}
+
+} // namespace
+
+MapComponents
+computeMapComponents(const u8 *block, const MapParams &params,
+                     MapHashMode mode)
+{
+    DOPP_ASSERT(params.mapBits >= 1 && params.mapBits <= 30);
+    return finishMapComponents(
+        summarizeBlock(block, params.type, params.minValue,
+                       params.maxValue),
+        params, mode);
+}
+
+MapComponents
+computeMapComponentsGeneric(const u8 *block, const MapParams &params,
+                            MapHashMode mode)
+{
+    DOPP_ASSERT(params.mapBits >= 1 && params.mapBits <= 30);
+
+    const unsigned n = elemsPerBlock(params.type);
+    const double lo = params.minValue;
+    const double hi = params.maxValue;
+
+    BlockSummary s;
+    s.min = clampValue(blockElement(block, params.type, 0), lo, hi);
+    s.max = s.min;
+    double sum = 0.0;
+    for (unsigned i = 0; i < n; ++i) {
+        const double v =
+            clampValue(blockElement(block, params.type, i), lo, hi);
+        sum += v;
+        s.min = std::min(s.min, v);
+        s.max = std::max(s.max, v);
+    }
+    s.sum = sum;
+    return finishMapComponents(s, params, mode);
 }
 
 u64

@@ -67,6 +67,17 @@ MapComponents computeMapComponents(
     const u8 *block, const MapParams &params,
     MapHashMode mode = MapHashMode::AvgAndRange);
 
+/**
+ * Reference implementation of computeMapComponents() using the
+ * per-element blockElement() extraction instead of the monomorphized
+ * kernels (core/map_kernels.hh). Kept for the kernel-equality tests
+ * and the bench_micro_ops speedup comparison; results are bit-for-bit
+ * identical to computeMapComponents().
+ */
+MapComponents computeMapComponentsGeneric(
+    const u8 *block, const MapParams &params,
+    MapHashMode mode = MapHashMode::AvgAndRange);
+
 /** Compute just the final map value of a 64 B block. */
 u64 computeMap(const u8 *block, const MapParams &params,
                MapHashMode mode = MapHashMode::AvgAndRange);

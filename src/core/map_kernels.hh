@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Monomorphized hot-path kernels for map generation (paper Sec 3.7).
+ *
+ * The map function runs on every LLC fill and writeback, making the
+ * per-block element reduction the simulator's hottest loop. The
+ * generic path pays an out-of-line blockElement() call — and its
+ * per-element ElemType switch — for each of the 16–64 lanes of a
+ * block. The kernels here are monomorphized per element type: one
+ * switch per *block* selects a fully inlined single-pass
+ * clamp/sum/min/max loop over raw typed lanes.
+ *
+ * Semantics contract: each kernel performs bit-for-bit the same
+ * arithmetic as the generic per-element path (same widening to
+ * double, same NaN-to-minimum rule, same clamp, same left-to-right
+ * summation order), so map values — and therefore every downstream
+ * run statistic — are identical. tests/test_map_function.cc pins
+ * kernel-vs-generic equality per type/mode, and
+ * tests/test_doppelganger.cc pins full StatRegistry snapshot equality
+ * on a mixed-type workload.
+ */
+
+#ifndef DOPP_CORE_MAP_KERNELS_HH
+#define DOPP_CORE_MAP_KERNELS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <type_traits>
+
+#include "sim/approx.hh"
+#include "util/types.hh"
+
+namespace dopp
+{
+
+/** Single-pass reduction of one 64 B block: clamped lane sum and
+ * extrema, widened to double. */
+struct BlockSummary
+{
+    double sum = 0.0; ///< sum of clamped lanes
+    double min = 0.0; ///< smallest clamped lane
+    double max = 0.0; ///< largest clamped lane
+};
+
+namespace detail
+{
+
+/** Widen one lane to double and clamp it into [lo, hi]; NaNs read as
+ * the minimum (Sec 4.1), exactly like the generic clampValue(). */
+template <typename Lane>
+inline double
+clampLane(Lane raw, double lo, double hi)
+{
+    const double v = static_cast<double>(raw);
+    if constexpr (std::is_floating_point_v<Lane>) {
+        if (std::isnan(v))
+            return lo;
+    }
+    return std::clamp(v, lo, hi);
+}
+
+} // namespace detail
+
+/**
+ * Monomorphized reduction kernel: clamp every @p Lane of the block
+ * into [@p lo, @p hi] and accumulate sum/min/max in one pass. The
+ * lanes are copied out with a single memcpy (alias- and
+ * alignment-safe), and the loop body inlines completely.
+ */
+template <typename Lane>
+inline BlockSummary
+summarizeBlockLanes(const u8 *block, double lo, double hi)
+{
+    constexpr unsigned n = blockBytes / sizeof(Lane);
+    Lane lanes[n];
+    std::memcpy(lanes, block, blockBytes);
+
+    BlockSummary s;
+    s.min = detail::clampLane(lanes[0], lo, hi);
+    s.max = s.min;
+    double sum = 0.0;
+    for (unsigned i = 0; i < n; ++i) {
+        const double v = detail::clampLane(lanes[i], lo, hi);
+        sum += v;
+        s.min = std::min(s.min, v);
+        s.max = std::max(s.max, v);
+    }
+    s.sum = sum;
+    return s;
+}
+
+/** Tagged dispatch to the matching kernel: one switch per block. */
+inline BlockSummary
+summarizeBlock(const u8 *block, ElemType type, double lo, double hi)
+{
+    switch (type) {
+      case ElemType::U8:
+        return summarizeBlockLanes<u8>(block, lo, hi);
+      case ElemType::I16:
+        return summarizeBlockLanes<i16>(block, lo, hi);
+      case ElemType::I32:
+        return summarizeBlockLanes<i32>(block, lo, hi);
+      case ElemType::F32:
+        return summarizeBlockLanes<float>(block, lo, hi);
+      case ElemType::F64:
+        return summarizeBlockLanes<double>(block, lo, hi);
+    }
+    return {};
+}
+
+} // namespace dopp
+
+#endif // DOPP_CORE_MAP_KERNELS_HH

@@ -43,12 +43,14 @@ ApproxRegistry::add(const ApproxRegion &region)
             return a.base < b.base;
         });
     sorted.insert(it, region);
+    ++gen;
 }
 
 void
 ApproxRegistry::clear()
 {
     sorted.clear();
+    ++gen;
 }
 
 const ApproxRegion *

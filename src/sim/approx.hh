@@ -126,9 +126,21 @@ class ApproxRegistry
     /** All registered regions. */
     const std::vector<ApproxRegion> &regions() const { return sorted; }
 
+    /**
+     * Mutation counter, bumped by add() and clear(). Consumers that
+     * cache lookup results (the per-region MapParams cache in
+     * DoppelgangerCache) record the generation at build time and
+     * assert it is unchanged on later accesses: the registry models
+     * the paper's start-of-application range transfer (Sec 4.1) and
+     * must be immutable once the run starts.
+     */
+    u64 generation() const { return gen; }
+
   private:
     /** Regions sorted by base address for binary search. */
     std::vector<ApproxRegion> sorted;
+    /** Bumped on every mutation; see generation(). */
+    u64 gen = 0;
 };
 
 /**

@@ -233,7 +233,7 @@ ConventionalLlc::evictLine(u32 set, u32 way)
         mem.writeBlock(addr, line.data.data());
         ++ctr->dirtyWritebacks;
     }
-    line.valid = false;
+    array.setValid(set, way, false);
 }
 
 void
@@ -308,7 +308,7 @@ ConventionalLlc::fetch(Addr addr, u8 *data)
 
     Line &line = array.at(set, victim);
     mem.readBlock(addr, line.data.data());
-    line.valid = true;
+    array.setValid(set, victim, true);
     line.tag = tag;
     line.dirty = false;
     array.touchInsert(set, victim);

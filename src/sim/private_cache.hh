@@ -81,7 +81,7 @@ class PrivateCache
         Line &line = array.at(set, victim);
         if (line.valid && on_evict)
             on_evict(slicer.addr(set, line.tag), line);
-        line.valid = true;
+        array.setValid(set, victim, true);
         line.tag = slicer.tag(addr);
         line.dirty = false;
         line.data = {};
@@ -93,10 +93,11 @@ class PrivateCache
     bool
     invalidate(Addr addr)
     {
-        Line *line = find(addr);
-        if (!line)
+        const u32 set = slicer.set(addr);
+        const int way = array.findWay(set, slicer.tag(addr));
+        if (way < 0)
             return false;
-        line->valid = false;
+        array.setValid(set, static_cast<u32>(way), false);
         return true;
     }
 

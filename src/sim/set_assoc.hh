@@ -145,6 +145,25 @@ class SetAssocArray
         setStamp(set, way, ++clock);
     }
 
+    /**
+     * Set the validity of (@p set, @p way). All validity transitions
+     * must flow through here (or invalidateAll) so the maintained
+     * valid-entry counter stays exact; writing `entry.valid` directly
+     * desyncs validCount(). A no-op when the state already matches.
+     */
+    void
+    setValid(u32 set, u32 way, bool v)
+    {
+        Entry &e = at(set, way);
+        if (e.valid == v)
+            return;
+        if (v)
+            ++numValid;
+        else
+            --numValid;
+        e.valid = v;
+    }
+
     /** Invalidate every entry (replacement state is reset too). */
     void
     invalidateAll()
@@ -154,17 +173,15 @@ class SetAssocArray
         for (auto &st : stamps)
             st = 0;
         clock = 0;
+        numValid = 0;
     }
 
-    /** Count of valid entries across the whole array. */
+    /** Count of valid entries across the whole array (maintained
+     * incrementally; O(1)). */
     u64
     validCount() const
     {
-        u64 n = 0;
-        for (const auto &s : slots)
-            if (s.valid)
-                ++n;
-        return n;
+        return numValid;
     }
 
   private:
@@ -186,6 +203,7 @@ class SetAssocArray
     std::vector<Entry> slots;
     std::vector<u64> stamps;
     u64 clock = 0;
+    u64 numValid = 0;
     Rng rng;
 };
 

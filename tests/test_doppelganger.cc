@@ -754,6 +754,50 @@ TEST(DoppTagCountAware, LruEvictsSharedEntryInstead)
     EXPECT_FALSE(cache.contains(0x2000));
 }
 
+TEST(DoppTagCountAware, CountsAboveStatsCapForHeavilySharedEntries)
+{
+    // Regression: linkedTagCount used to saturate at 64 even for
+    // victim selection, so two entries with 100 and 70 linked tags
+    // compared equal and LRU broke the "tie" — evicting the costlier
+    // entry. The policy must count up to tagEntries.
+    MainMemory mem;
+    DoppConfig cfg;
+    cfg.tagEntries = 512;
+    cfg.tagWays = 16;
+    cfg.dataEntries = 2; // a single 2-way data set
+    cfg.dataWays = 2;
+    cfg.tagCountAwareData = true;
+    DoppelgangerCache cache(mem, cfg, nullptr);
+    BlockData buf;
+
+    // 100 tags share entry A (inserted first => LRU victim), then 70
+    // share entry B. Both are far beyond the 64-entry stats cap.
+    Addr next = 0;
+    for (int i = 0; i < 100; ++i, next += blockBytes) {
+        seedBlock(mem, next, 0.5f);
+        cache.fetch(next, buf.data());
+    }
+    const Addr firstB = next;
+    for (int i = 0; i < 70; ++i, next += blockBytes) {
+        seedBlock(mem, next, 0.3f);
+        cache.fetch(next, buf.data());
+    }
+    ASSERT_EQ(cache.dataCount(), 2u);
+    ASSERT_EQ(cache.tagsSharingWith(0x0), 100u);
+    ASSERT_EQ(cache.tagsSharingWith(firstB), 70u);
+
+    // A third dissimilar block forces a data eviction: the 70-tag
+    // entry must go, not the LRU 100-tag one.
+    seedBlock(mem, next, 0.8f);
+    cache.fetch(next, buf.data());
+
+    EXPECT_TRUE(cache.contains(0x0));
+    EXPECT_EQ(cache.tagsSharingWith(0x0), 100u);
+    EXPECT_FALSE(cache.contains(firstB));
+    std::string why;
+    EXPECT_TRUE(cache.checkInvariants(&why)) << why;
+}
+
 TEST(DoppTagCountAware, InvariantsUnderChurn)
 {
     MainMemory mem;
@@ -824,6 +868,106 @@ TEST(DoppFaultStress, TenThousandOpsWithMetadataFaults)
     EXPECT_EQ(fi.stats().detected, fi.stats().repairs);
     EXPECT_EQ(cache.stats().faultsDetected, fi.stats().detected);
     EXPECT_EQ(cache.stats().faultsRepaired, fi.stats().repairs);
+}
+
+// ---------------------------------------------------------------------
+// MapParams caching and kernel determinism.
+// ---------------------------------------------------------------------
+
+TEST(DoppParamCacheDeathTest, RegistryMutationAfterRunStartPanics)
+{
+    // The per-region MapParams cache snapshots the registry at the
+    // first access (the paper's start-of-application range transfer,
+    // Sec 4.1); annotating afterwards is a harness bug and must trip
+    // the generation assert rather than serve stale parameters.
+    MainMemory mem;
+    ApproxRegistry reg;
+    ApproxRegion r;
+    r.base = 0x0;
+    r.size = 0x10000;
+    r.type = ElemType::F32;
+    r.minValue = 0.0;
+    r.maxValue = 1.0;
+    r.name = "a";
+    reg.add(r);
+
+    DoppelgangerCache cache(mem, smallConfig(), &reg);
+    BlockData buf;
+    cache.fetch(0x1000, buf.data()); // builds the cache
+
+    ApproxRegion late = r;
+    late.base = 0x100000;
+    late.name = "late";
+    reg.add(late);
+    EXPECT_DEATH(cache.fetch(0x2000, buf.data()), "mutated");
+}
+
+TEST(DoppKernelDeterminism, SnapshotEqualityKernelVsGenericMixedTypes)
+{
+    // Full StatRegistry snapshot equality — not just hit counts —
+    // between the monomorphized kernel path and the generic
+    // blockElement() path on a mixed F32/I16/F64 access stream. Any
+    // arithmetic divergence would change a map somewhere, shift
+    // sharing, and show up in evictions/writebacks/mapGens.
+    const auto run = [](bool generic) {
+        MainMemory mem;
+        ApproxRegistry reg;
+        const struct
+        {
+            Addr base;
+            ElemType type;
+            double lo, hi;
+        } regions[] = {
+            {0x000000, ElemType::F32, 0.0, 1.0},
+            {0x100000, ElemType::I16, -1000.0, 1000.0},
+            {0x200000, ElemType::F64, -1.0, 1.0},
+        };
+        for (const auto &rr : regions) {
+            ApproxRegion r;
+            r.base = rr.base;
+            r.size = 0x10000;
+            r.type = rr.type;
+            r.minValue = rr.lo;
+            r.maxValue = rr.hi;
+            r.name = elemTypeName(rr.type);
+            reg.add(r);
+        }
+
+        DoppConfig cfg = smallConfig();
+        if (generic) {
+            cfg.mapOverride = [](const u8 *block, const MapParams &p) {
+                return computeMapComponentsGeneric(block, p).combined;
+            };
+        }
+        StatRegistry stats;
+        DoppelgangerCache cache(mem, cfg, &reg, &stats, "llc");
+
+        Rng rng(0xD1CE);
+        BlockData buf;
+        for (int i = 0; i < 6000; ++i) {
+            const auto &rr = regions[rng.below(3)];
+            const Addr addr =
+                rr.base + rng.below(256) * blockBytes;
+            if (rng.below(4) == 0) {
+                for (auto &byte : buf)
+                    byte = static_cast<u8>(rng.below(256));
+                cache.writeback(addr, buf.data());
+            } else {
+                cache.fetch(addr, buf.data());
+            }
+        }
+        std::string why;
+        EXPECT_TRUE(cache.checkInvariants(&why)) << why;
+        return stats.snapshot();
+    };
+
+    const StatSnapshot kernel = run(false);
+    const StatSnapshot generic = run(true);
+    ASSERT_FALSE(kernel.empty());
+    EXPECT_GT(kernel.counter("llc.mapGens"), 0u);
+    EXPECT_TRUE(kernel == generic)
+        << "kernel:\n" << kernel.json() << "\ngeneric:\n"
+        << generic.json();
 }
 
 } // namespace dopp

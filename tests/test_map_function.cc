@@ -331,4 +331,210 @@ INSTANTIATE_TEST_SUITE_P(AllTypes, MapTypeSweep,
                                            ElemType::I32, ElemType::F32,
                                            ElemType::F64));
 
+/**
+ * Bypass-path edge cases (Sec 3.7's skip-the-mapping rule): the
+ * double-to-u64 conversions must be clamped into [0, 2^fullBits − 1]
+ * *before* the cast. Two hazards: (a) summing N copies of a clamped
+ * minimum can round the average a hair below `lo`, making
+ * `avgHash − lo` a tiny negative; (b) a huge declared `lo` pushes the
+ * difference past 2^64, which is undefined behaviour on conversion
+ * (UBSan float-cast-overflow catches the pre-fix code).
+ */
+TEST(MapEdgeCases, BypassTinyNegativeAverageDiffMapsToZero)
+{
+    // 32 lanes of lo = 0.7 sum to 22.399999...; avg − lo = −3.3e−16.
+    MapParams p;
+    p.mapBits = 20; // > 16 bits of i16: bypass
+    p.type = ElemType::I16;
+    p.minValue = 0.7;
+    p.maxValue = 1e6;
+    u8 block[blockBytes] = {}; // all-zero lanes clamp to exactly lo
+    const MapComponents c = computeMapComponents(block, p);
+    EXPECT_LT(c.avgHash - p.minValue, 0.0); // the hazard is real
+    EXPECT_EQ(c.avgMap, 0u);
+    EXPECT_EQ(c.combined, computeMapComponentsGeneric(block, p).combined);
+}
+
+TEST(MapEdgeCases, BypassHugeLoSaturatesAtCap)
+{
+    // avgHash − lo ≈ 1e20 ≥ 2^64: pre-clamp this cast was UB.
+    MapParams p;
+    p.mapBits = 20;
+    p.type = ElemType::I16;
+    p.minValue = -1e20;
+    p.maxValue = 1e20;
+    u8 block[blockBytes] = {};
+    const MapComponents c = computeMapComponents(block, p);
+    EXPECT_EQ(c.avgBits, 16u);
+    EXPECT_EQ(c.avgMap, (1ULL << 16) - 1); // saturated, not UB garbage
+    EXPECT_LT(c.combined, 1ULL << mapWidth(p));
+}
+
+TEST(MapEdgeCases, DegenerateRangeLoEqualsHi)
+{
+    // Binned path: span collapses, everything lands in bin 0.
+    u8 block[blockBytes];
+    fillF32(block, {0.5f});
+    const MapComponents c =
+        computeMapComponents(block, f32Params(14, 0.5, 0.5));
+    EXPECT_EQ(c.avgMap, 0u);
+    EXPECT_EQ(c.rangeMap, 0u);
+    EXPECT_EQ(c.combined, 0u);
+
+    // Bypass path: avgHash − lo is exactly zero.
+    MapParams p;
+    p.mapBits = 20;
+    p.type = ElemType::U8;
+    p.minValue = 3.0;
+    p.maxValue = 3.0;
+    u8 ints[blockBytes];
+    std::memset(ints, 200, blockBytes);
+    const MapComponents ci = computeMapComponents(ints, p);
+    EXPECT_EQ(ci.avgMap, 0u);
+    EXPECT_EQ(ci.combined, 0u);
+}
+
+TEST(MapEdgeCases, AllNanBlockEqualsAllMinimumBlock)
+{
+    u8 nan32[blockBytes];
+    u8 min32[blockBytes];
+    fillF32(nan32, {std::nanf("")});
+    fillF32(min32, {0.2f});
+    const MapParams p32 = f32Params(14, 0.2, 0.9);
+    EXPECT_EQ(computeMap(nan32, p32), computeMap(min32, p32));
+    const MapComponents c32 = computeMapComponents(nan32, p32);
+    EXPECT_EQ(c32.avgMap, 0u);
+    EXPECT_EQ(c32.rangeMap, 0u);
+
+    MapParams p64 = p32;
+    p64.type = ElemType::F64;
+    u8 nan64[blockBytes];
+    u8 min64[blockBytes];
+    for (unsigned i = 0; i < elemsPerBlock(ElemType::F64); ++i) {
+        setBlockElement(nan64, ElemType::F64, i, std::nan(""));
+        setBlockElement(min64, ElemType::F64, i, 0.2);
+    }
+    EXPECT_EQ(computeMap(nan64, p64), computeMap(min64, p64));
+    EXPECT_EQ(computeMapComponents(nan64, p64).combined, 0u);
+}
+
+/**
+ * Degenerate map-space widths (M = 1 produces rangeKeep = 1 and
+ * single-bin hashes; M = 30 is the assert ceiling and bypasses every
+ * narrow type): no mode/type combination may shift by fullBits or
+ * produce a combined map outside its declared width.
+ */
+class MapBitsExtremes : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(MapBitsExtremes, CombinedFitsWidthInEveryMode)
+{
+    const unsigned m = GetParam();
+    const ElemType types[] = {ElemType::U8, ElemType::I16,
+                              ElemType::I32, ElemType::F32,
+                              ElemType::F64};
+    const MapHashMode modes[] = {MapHashMode::AvgAndRange,
+                                 MapHashMode::AvgOnly,
+                                 MapHashMode::RangeOnly};
+    Rng rng(m * 1337);
+    u8 block[blockBytes];
+    for (ElemType type : types) {
+        MapParams p;
+        p.mapBits = m;
+        p.type = type;
+        p.minValue = -500.0;
+        p.maxValue = 500.0;
+        for (int trial = 0; trial < 64; ++trial) {
+            for (auto &b : block)
+                b = static_cast<u8>(rng.below(256));
+            for (MapHashMode mode : modes) {
+                const MapComponents c =
+                    computeMapComponents(block, p, mode);
+                const unsigned width = mapWidth(p, mode);
+                EXPECT_GE(width, 1u);
+                EXPECT_LT(c.combined, 1ULL << width)
+                    << "M=" << m << " type=" << elemTypeName(type);
+                EXPECT_EQ(c.avgBits + c.rangeBits, width);
+                if (mode == MapHashMode::AvgAndRange) {
+                    EXPECT_EQ(c.combined,
+                              (c.rangeMap << c.avgBits) | c.avgMap);
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ExtremeBits, MapBitsExtremes,
+                         ::testing::Values(1u, 2u, 30u));
+
+/**
+ * The monomorphized kernels (core/map_kernels.hh) promise bit-for-bit
+ * identical arithmetic to the generic blockElement() path: same
+ * widening, same NaN rule, same clamp, same summation order. Pin full
+ * component equality — exact double compares intended — across types,
+ * modes, map widths, and adversarial blocks.
+ */
+TEST(KernelMatchesGeneric, AllTypesModesAndSpecialBlocks)
+{
+    const ElemType types[] = {ElemType::U8, ElemType::I16,
+                              ElemType::I32, ElemType::F32,
+                              ElemType::F64};
+    const MapHashMode modes[] = {MapHashMode::AvgAndRange,
+                                 MapHashMode::AvgOnly,
+                                 MapHashMode::RangeOnly};
+    const unsigned widths[] = {1, 8, 14, 20, 30};
+    struct Range
+    {
+        double lo, hi;
+    };
+    const Range ranges[] = {
+        {0.0, 1.0}, {-1000.0, 1000.0}, {0.7, 1e6}, {-1e20, 1e20},
+        {0.5, 0.5}};
+
+    Rng rng(0xCAFE);
+    u8 block[blockBytes];
+    for (int trial = 0; trial < 48; ++trial) {
+        switch (trial % 4) {
+          case 0: // random bytes (includes NaN bit patterns)
+            for (auto &b : block)
+                b = static_cast<u8>(rng.below(256));
+            break;
+          case 1:
+            std::memset(block, 0x00, blockBytes);
+            break;
+          case 2:
+            std::memset(block, 0xFF, blockBytes); // f32/f64 NaNs
+            break;
+          default:
+            fillF32(block, {std::nanf(""), 0.25f, 123456.0f});
+            break;
+        }
+        for (ElemType type : types) {
+            for (const Range &r : ranges) {
+                for (unsigned m : widths) {
+                    MapParams p;
+                    p.mapBits = m;
+                    p.type = type;
+                    p.minValue = r.lo;
+                    p.maxValue = r.hi;
+                    for (MapHashMode mode : modes) {
+                        const MapComponents k =
+                            computeMapComponents(block, p, mode);
+                        const MapComponents g =
+                            computeMapComponentsGeneric(block, p, mode);
+                        EXPECT_EQ(k.avgHash, g.avgHash);
+                        EXPECT_EQ(k.rangeHash, g.rangeHash);
+                        EXPECT_EQ(k.avgMap, g.avgMap);
+                        EXPECT_EQ(k.rangeMap, g.rangeMap);
+                        EXPECT_EQ(k.avgBits, g.avgBits);
+                        EXPECT_EQ(k.rangeBits, g.rangeBits);
+                        EXPECT_EQ(k.combined, g.combined);
+                    }
+                }
+            }
+        }
+    }
+}
+
 } // namespace dopp

@@ -133,18 +133,41 @@ TEST(SetAssocArray, RandomVictimIsValidWay)
 TEST(SetAssocArray, ValidCount)
 {
     SetAssocArray<Entry> arr(4, 4);
-    arr.at(0, 0).valid = true;
-    arr.at(3, 3).valid = true;
+    arr.setValid(0, 0, true);
+    arr.setValid(3, 3, true);
     EXPECT_EQ(arr.validCount(), 2u);
+    EXPECT_TRUE(arr.at(0, 0).valid);
+    EXPECT_TRUE(arr.at(3, 3).valid);
+    arr.setValid(0, 0, false);
+    EXPECT_EQ(arr.validCount(), 1u);
+    EXPECT_FALSE(arr.at(0, 0).valid);
+}
+
+TEST(SetAssocArray, SetValidIsIdempotent)
+{
+    // The maintained counter only moves on actual transitions;
+    // re-asserting the current state must not drift it.
+    SetAssocArray<Entry> arr(4, 4);
+    arr.setValid(1, 2, true);
+    arr.setValid(1, 2, true);
+    EXPECT_EQ(arr.validCount(), 1u);
+    arr.setValid(1, 2, false);
+    arr.setValid(1, 2, false);
+    EXPECT_EQ(arr.validCount(), 0u);
+    arr.setValid(2, 0, false); // never-valid entry stays a no-op
+    EXPECT_EQ(arr.validCount(), 0u);
 }
 
 TEST(SetAssocArray, InvalidateAll)
 {
     SetAssocArray<Entry> arr(4, 4);
-    arr.at(1, 1).valid = true;
+    arr.setValid(1, 1, true);
+    arr.setValid(2, 3, true);
     arr.touchInsert(1, 1);
     arr.invalidateAll();
     EXPECT_EQ(arr.validCount(), 0u);
+    EXPECT_FALSE(arr.at(1, 1).valid);
+    EXPECT_FALSE(arr.at(2, 3).valid);
 }
 
 TEST(AddrSlicer, RoundTrip)
