@@ -10,6 +10,10 @@
  *  2. *LLC organizations*: accesses/sec and maps/sec for every
  *     registered organization, driven by a synthetic fetch/writeback
  *     stream over an annotated F32 region.
+ *  3. *Memory tier*: raw MainMemory accesses/sec for the legacy flat
+ *     model vs tiered configurations (per-partition routing, fault
+ *     draws, write buffer), guarding the tier against hot-path
+ *     regressions. Throughput numbers are report-only.
  *
  * Results print as text tables and are written to BENCH_perf.json
  * (schema "dopp-bench-perf-v1") via the crash-safe atomicWriteFile.
@@ -179,6 +183,47 @@ benchOrg(const std::string &name, u64 accesses)
     return r;
 }
 
+struct MemResult
+{
+    std::string name;
+    double accessesPerSec;
+};
+
+/**
+ * Drive MainMemory directly with a 3:1 read/write block mix over a
+ * region routed per @p tier (annotated pages approximate when the
+ * tier has approximate partitions).
+ */
+MemResult
+benchMemTier(const std::string &label, const MemTierConfig &tier,
+             u64 accesses)
+{
+    MainMemory mem = tier.enabled() ? MainMemory(tier) : MainMemory();
+    FaultConfig fc;
+    FaultInjector fi(fc);
+    if (tier.enabled()) {
+        mem.setFaultInjector(&fi);
+        mem.routeApprox(0, 4096 * blockBytes);
+    }
+
+    Rng rng(0xF00D);
+    BlockData buf = {};
+    const auto start = Clock::now();
+    for (u64 n = 0; n < accesses; ++n) {
+        const Addr addr = rng.below(8192) * blockBytes;
+        if (n % 4 == 3)
+            mem.writeBlock(addr, buf.data());
+        else
+            mem.readBlock(addr, buf.data());
+    }
+    const double elapsed = std::max(secondsSince(start), 1e-9);
+
+    MemResult r;
+    r.name = label;
+    r.accessesPerSec = static_cast<double>(accesses) / elapsed;
+    return r;
+}
+
 } // namespace
 
 int
@@ -203,6 +248,7 @@ main(int argc, char **argv)
 
     const u64 kernelMaps = smoke ? 20000 : 2000000;
     const u64 orgAccesses = smoke ? 10000 : 400000;
+    const u64 memAccesses = smoke ? 20000 : 2000000;
 
     const ElemType types[] = {ElemType::U8, ElemType::I16,
                               ElemType::I32, ElemType::F32,
@@ -215,6 +261,16 @@ main(int argc, char **argv)
     std::vector<OrgResult> orgs;
     for (const std::string &name : registeredLlcNames())
         orgs.push_back(benchOrg(name, orgAccesses));
+
+    std::vector<MemResult> mems;
+    mems.push_back(
+        benchMemTier("flat-dram", MemTierConfig{}, memAccesses));
+    mems.push_back(benchMemTier("tiered-faultless",
+                                defaultMemTier(0.0, 0.0),
+                                memAccesses));
+    mems.push_back(benchMemTier("tiered-faulty",
+                                defaultMemTier(1e-4, 1e-4),
+                                memAccesses));
 
     TextTable kt;
     kt.header({"type", "kernel maps/s", "generic maps/s", "speedup"});
@@ -235,12 +291,20 @@ main(int argc, char **argv)
     }
     ot.print("LLC organization throughput");
 
+    TextTable mt;
+    mt.header({"config", "accesses/s"});
+    for (const MemResult &m : mems)
+        mt.row({m.name, strfmt("%.3g", m.accessesPerSec)});
+    mt.print("Memory-tier throughput");
+
     std::string json = "{\n  \"schema\": \"dopp-bench-perf-v1\",\n";
     json += strfmt("  \"smoke\": %s,\n", smoke ? "true" : "false");
     json += strfmt("  \"kernelMaps\": %llu,\n",
                    static_cast<unsigned long long>(kernelMaps));
     json += strfmt("  \"orgAccesses\": %llu,\n",
                    static_cast<unsigned long long>(orgAccesses));
+    json += strfmt("  \"memAccesses\": %llu,\n",
+                   static_cast<unsigned long long>(memAccesses));
     json += "  \"mapKernels\": [\n";
     for (size_t i = 0; i < kernels.size(); ++i) {
         const KernelResult &k = kernels[i];
@@ -260,6 +324,14 @@ main(int argc, char **argv)
             "\"mapsPerSec\": %.6g}%s\n",
             o.name.c_str(), o.accessesPerSec, o.mapsPerSec,
             i + 1 < orgs.size() ? "," : "");
+    }
+    json += "  ],\n  \"memoryTier\": [\n";
+    for (size_t i = 0; i < mems.size(); ++i) {
+        const MemResult &m = mems[i];
+        json += strfmt(
+            "    {\"config\": \"%s\", \"accessesPerSec\": %.6g}%s\n",
+            m.name.c_str(), m.accessesPerSec,
+            i + 1 < mems.size() ? "," : "");
     }
     json += "  ]\n}\n";
 

@@ -57,3 +57,18 @@ diff <(json_keys BENCH_perf.json) <(json_keys "$SMOKE_DIR/BENCH_perf.json") || {
     exit 1
 }
 echo "ci: bench_perf smoke + schema check passed"
+
+# Memory-tier smoke sweep: run the bench_fig_memtier sweep twice at a
+# tiny scale — serial and 4-wide — and require byte-identical output,
+# so the per-partition fault draws and the cross-tier guardrail stay
+# deterministic under the threaded batch runner (DESIGN.md §13).
+MEMTIER_ENV=(DOPP_WORKLOAD_SCALE=0.05 DOPP_MEMTIER_WORKLOADS=kmeans)
+env "${MEMTIER_ENV[@]}" DOPP_JOBS=1 "$BUILD_DIR/bench/bench_fig_memtier" \
+    > "$SMOKE_DIR/memtier_j1.txt"
+env "${MEMTIER_ENV[@]}" DOPP_JOBS=4 "$BUILD_DIR/bench/bench_fig_memtier" \
+    > "$SMOKE_DIR/memtier_j4.txt"
+diff "$SMOKE_DIR/memtier_j1.txt" "$SMOKE_DIR/memtier_j4.txt" || {
+    echo "ci: bench_fig_memtier diverged between jobs=1 and jobs=4" >&2
+    exit 1
+}
+echo "ci: memory-tier smoke sweep passed (jobs=1 == jobs=4)"

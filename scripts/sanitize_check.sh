@@ -48,6 +48,14 @@ DOPP_JOBS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
 DOPP_JOBS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
     -j "$(nproc)" -R 'Resilience|Journal' "$@"
 
+# Re-run the memory-tier fault suite explicitly: the per-partition
+# fault draws flip raw block bytes, the write-buffer model keeps
+# per-partition queues, and the cross-tier guardrail callbacks capture
+# pointers across the run — all places where an out-of-bounds flip or
+# a lifetime bug would hide from the unsanitized suite.
+DOPP_JOBS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -j "$(nproc)" -R 'MemTier|SimRuntimeAbort' "$@"
+
 # Re-run the map-function edge tests explicitly: the bypass-path
 # double-to-u64 clamps, the degenerate map widths and the kernel
 # equality sweep are exactly where float-cast-overflow / shift UB

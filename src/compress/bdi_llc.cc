@@ -99,7 +99,7 @@ BdiLlc::fetch(Addr addr, u8 *data)
 
     ++ctr->fetchMisses;
     BlockData fetched;
-    mem.readBlock(addr, fetched.data());
+    const Tick memLat = mem.readBlock(addr, fetched.data());
 
     const unsigned size = bdiCompressedSize(fetched.data());
     const u32 set_idx = slicer.set(addr);
@@ -122,7 +122,7 @@ BdiLlc::fetch(Addr addr, u8 *data)
     ++ctr->dataArray.writes;
 
     std::memcpy(data, fetched.data(), blockBytes);
-    return {false, cfg.hitLatency + mem.latency()};
+    return {false, cfg.hitLatency + memLat};
 }
 
 void

@@ -449,9 +449,9 @@ DoppelgangerCache::fetch(Addr addr, u8 *out)
     // Miss: the requester gets the fetched (exact) values immediately;
     // placement happens off the critical path (Sec 3.3).
     ++ctr->fetchMisses;
-    mem.readBlock(addr, out);
+    const Tick memLat = mem.readBlock(addr, out);
     insertBlock(addr, out);
-    return {false, cfg.hitLatency + mem.latency()};
+    return {false, cfg.hitLatency + memLat};
 }
 
 void

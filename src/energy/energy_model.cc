@@ -134,4 +134,34 @@ EnergyModel::unified(const StatSnapshot &snap, const std::string &group,
                    runtimeFromSnapshot(snap));
 }
 
+MemTierEnergy
+memTierEnergy(const MemTierConfig &tier, const StatSnapshot &snap)
+{
+    const Tick cycles = runtimeFromSnapshot(snap);
+
+    MemTierEnergy out;
+    out.partitions.reserve(tier.partitions.size());
+    for (size_t i = 0; i < tier.partitions.size(); ++i) {
+        const MemPartitionProfile &prof = tier.partitions[i];
+        const std::string prefix =
+            "mem.partition" + std::to_string(i) + ".";
+
+        MemPartitionEnergy e;
+        e.name = prof.name;
+        const std::string readsName = prefix + "reads";
+        const std::string writesName = prefix + "writes";
+        if (snap.has(readsName)) {
+            e.dynamicPj = prof.readEnergyPj *
+                    static_cast<double>(snap.counter(readsName)) +
+                prof.writeEnergyPj *
+                    static_cast<double>(snap.counter(writesName));
+            // 1 GHz: one cycle is 1 ns; P[mW] × t[ns] = E[pJ].
+            e.standbyPj =
+                prof.standbyPowerMw * static_cast<double>(cycles);
+        }
+        out.partitions.push_back(std::move(e));
+    }
+    return out;
+}
+
 } // namespace dopp

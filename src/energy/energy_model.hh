@@ -8,9 +8,13 @@
 #ifndef DOPP_ENERGY_ENERGY_MODEL_HH
 #define DOPP_ENERGY_ENERGY_MODEL_HH
 
+#include <string>
+#include <vector>
+
 #include "core/doppelganger_cache.hh"
 #include "energy/hardware_cost.hh"
 #include "sim/llc.hh"
+#include "sim/mem_tier.hh"
 
 namespace dopp
 {
@@ -24,6 +28,42 @@ struct EnergyResult
 
     double totalPj() const { return dynamicPj + leakagePj; }
 };
+
+/** Energy of one main-memory partition over one run. */
+struct MemPartitionEnergy
+{
+    std::string name;        ///< profile name ("dram", "nvm-bank", …)
+    double dynamicPj = 0.0;  ///< reads/writes × per-access energies
+    double standbyPj = 0.0;  ///< standby/refresh power × runtime
+
+    double totalPj() const { return dynamicPj + standbyPj; }
+};
+
+/** Per-partition + total memory-tier energy of one run. */
+struct MemTierEnergy
+{
+    std::vector<MemPartitionEnergy> partitions;
+
+    double
+    totalPj() const
+    {
+        double sum = 0.0;
+        for (const auto &p : partitions)
+            sum += p.totalPj();
+        return sum;
+    }
+};
+
+/**
+ * Memory-tier energy from a run's registry snapshot: partition i's
+ * access counts are read from "mem.partitionI.reads"/".writes"
+ * (MainMemory::registerStats) and multiplied by @p tier's per-access
+ * energies; standby power integrates over "run.runtimeCycles" (1 GHz:
+ * cycles = ns, so pJ = mW × cycles). Partitions whose counters are
+ * absent from the snapshot (legacy flat-memory runs) contribute zero.
+ */
+MemTierEnergy memTierEnergy(const MemTierConfig &tier,
+                            const StatSnapshot &snap);
 
 /**
  * Converts LLC statistics into energy for the three organizations the

@@ -142,6 +142,20 @@ class FaultInjector
         return rng.uniform() < rate;
     }
 
+    /**
+     * Does a fault with arbitrary @p rate fire this operation? The
+     * per-partition memory-tier rates (sim/mem_tier.hh) draw through
+     * this, sharing the one seeded stream with the domain draws.
+     * Always consumes one PRNG draw when the rate is non-zero.
+     */
+    bool
+    drawRate(double rate)
+    {
+        if (rate <= 0.0)
+            return false;
+        return rng.uniform() < rate;
+    }
+
     /** Uniform integer in [0, bound) from the fault stream. */
     u64
     pick(u64 bound)

@@ -19,17 +19,35 @@
  * a lower re-enable threshold plus a minimum dwell — keeps the state
  * machine from chattering when the estimate sits near the budget.
  *
+ * Cross-tier extension (DESIGN.md §13): with a tiered main memory the
+ * guardrail escalates in two steps. Degrading LLC fills to the precise
+ * path only stops *new* approximation error; bit flips injected by an
+ * approximate memory partition keep arriving on every demand read. So
+ * when the estimate keeps climbing past budget × migrateFactor while
+ * already degraded, the guardrail fires onMigrate(true) — the harness
+ * wires it to MainMemory::migrateApproxToPrecise(), pinning the
+ * approximate regions' pages to the precise partition — and when the
+ * estimate recovers below the re-enable band it steps all the way back
+ * down (onMigrate(false) restores the approximate routes). The same
+ * dwell-based hysteresis guards every transition. migrateFactor <= 0
+ * (the default) disables the third state entirely, preserving the
+ * original two-state behavior bit-for-bit.
+ *
  * State machine:
  *
  *      estimate > budget, dwell elapsed
  *   APPROX ────────────────────────────────► DEGRADED
- *      ◄────────────────────────────────
- *      estimate < budget × reenableFraction, dwell elapsed
+ *      ◄────────────────────────────────         │
+ *      estimate < budget × reenableFraction,     │ estimate > budget
+ *      dwell elapsed (from DEGRADED or           │ × migrateFactor,
+ *      MIGRATED; MIGRATED also restores          ▼ migrateDwell
+ *      the approximate memory routes)        MIGRATED
  */
 
 #ifndef DOPP_FAULT_QOR_GUARDRAIL_HH
 #define DOPP_FAULT_QOR_GUARDRAIL_HH
 
+#include <functional>
 #include <vector>
 
 #include "sim/approx.hh"
@@ -54,6 +72,18 @@ struct QorConfig
 
     /** Minimum observations between state flips (anti-chatter). */
     u64 minDwell = 128;
+
+    /**
+     * Cross-tier escalation threshold: while DEGRADED, an estimate
+     * above budget × migrateFactor (after migrateDwell further
+     * observations) escalates to MIGRATED — the approximate memory
+     * regions are re-routed to a precise partition via onMigrate.
+     * <= 0 disables the MIGRATED state (legacy two-state machine).
+     */
+    double migrateFactor = 0.0;
+
+    /** Minimum observations spent DEGRADED before escalating. */
+    u64 migrateDwell = 256;
 
     bool enabled() const { return budget > 0.0; }
 };
@@ -92,8 +122,12 @@ class QorGuardrail
     void observeClean() { observe(0.0); }
 
     /** Whether approximate fills should currently take the precise
-     * path. Always false when the guardrail is disabled. */
+     * path (true in both DEGRADED and MIGRATED). Always false when
+     * the guardrail is disabled. */
     bool degraded() const { return degradedNow; }
+
+    /** Whether the cross-tier MIGRATED state is active. */
+    bool migrated() const { return migratedNow; }
 
     /** Current EWMA error estimate. */
     double estimate() const { return ewma; }
@@ -103,6 +137,18 @@ class QorGuardrail
 
     /** APPROX→DEGRADED transitions taken. */
     u64 degradationCount() const { return flips; }
+
+    /** DEGRADED→MIGRATED escalations taken. */
+    u64 migrationCount() const { return migrations_; }
+
+    /**
+     * Cross-tier escalation hook: called with true on
+     * DEGRADED→MIGRATED (migrate the approximate regions to a precise
+     * partition) and false when MIGRATED steps back down (restore the
+     * approximate routes). Must be deterministic and must not call
+     * back into the guardrail.
+     */
+    std::function<void(bool)> onMigrate;
 
     /**
      * Degradation intervals so far; an interval still open at call
@@ -155,6 +201,12 @@ class QorGuardrail
         group.counterFn(
             "degradedNow", [this] { return degradedNow ? 1 : 0; },
             "whether approximation is currently degraded");
+        group.counterFn(
+            "migrations", [this] { return migrations_; },
+            "DEGRADED to MIGRATED cross-tier escalations");
+        group.counterFn(
+            "migratedNow", [this] { return migratedNow ? 1 : 0; },
+            "whether the cross-tier MIGRATED state is active");
         group.formula(
             "estimate", [this] { return ewma; },
             "EWMA normalized-error estimate");
@@ -183,8 +235,25 @@ class QorGuardrail
             openBegin = obs;
             lastFlip = obs;
             ++flips;
+        } else if (degradedNow && !migratedNow &&
+                   cfg.migrateFactor > 0.0 &&
+                   ewma > cfg.budget * cfg.migrateFactor &&
+                   obs - lastFlip >= cfg.migrateDwell) {
+            // Still over the escalated threshold after a full dwell
+            // in DEGRADED: precise-path fills alone cannot hold the
+            // error (the memory tier keeps injecting), so migrate.
+            migratedNow = true;
+            ++migrations_;
+            lastFlip = obs;
+            if (onMigrate)
+                onMigrate(true);
         } else if (degradedNow &&
                    ewma < cfg.budget * cfg.reenableFraction) {
+            if (migratedNow) {
+                migratedNow = false;
+                if (onMigrate)
+                    onMigrate(false);
+            }
             degradedNow = false;
             DegradedInterval iv;
             iv.beginOp = openBegin;
@@ -199,7 +268,9 @@ class QorGuardrail
     u64 obs = 0;
     u64 lastFlip = 0;
     u64 flips = 0;
+    u64 migrations_ = 0;
     bool degradedNow = false;
+    bool migratedNow = false;
     u64 openBegin = 0;
     std::vector<DegradedInterval> closed;
     Distribution *errorDist = nullptr; ///< set by registerStats()

@@ -298,6 +298,9 @@ runOne(BatchState &st, size_t index)
             std::atomic<bool> abort{false};
             RunConfig attemptCfg = cfg; // re-seeded identically
             attemptCfg.abortFlag = &abort;
+            if (st.opt.abortPollAccesses)
+                attemptCfg.abortPollAccesses =
+                    st.opt.abortPollAccesses;
             u64 deadline = 0;
             if (st.opt.runTimeoutMs)
                 deadline = st.watchdog.arm(st.opt.runTimeoutMs,

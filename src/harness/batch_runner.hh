@@ -104,6 +104,15 @@ struct BatchOptions
     u64 runTimeoutMs = 0;
 
     /**
+     * Abort-poll granularity in simulated accesses handed to each
+     * run's SimRuntime (0: keep the 4096-access default). A tighter
+     * interval shortens the latency between the watchdog setting the
+     * abort flag and the run unwinding; it never affects a completed
+     * run's results (excluded from the config fingerprint).
+     */
+    u64 abortPollAccesses = 0;
+
+    /**
      * Retries per run after a retryable failure (timeout or an
      * exception; "cancelled" and empty-workloadName configs never
      * retry). Attempt n sleeps retryBackoffMs << (n-1) plus up to 50%

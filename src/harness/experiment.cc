@@ -137,7 +137,7 @@ runWorkload(const std::string &workload_name, const RunConfig &cfg)
     // here, and the end-of-run snapshot becomes RunResult::stats.
     StatRegistry statReg;
 
-    MainMemory memory;
+    MainMemory memory(cfg.memTier);
     memory.registerStats(statReg.group("mem"));
     ApproxRegistry registry;
 
@@ -152,7 +152,7 @@ runWorkload(const std::string &workload_name, const RunConfig &cfg)
     // error; an injector without a guardrail measures raw resilience).
     std::unique_ptr<FaultInjector> injector;
     std::unique_ptr<QorGuardrail> guard;
-    if (cfg.fault.enabled()) {
+    if (cfg.fault.enabled() || cfg.memTier.anyFaultRate()) {
         injector = std::make_unique<FaultInjector>(cfg.fault);
         injector->registerStats(statReg.group("fault"));
     }
@@ -161,9 +161,52 @@ runWorkload(const std::string &workload_name, const RunConfig &cfg)
         guard->registerStats(statReg.group("qor"));
     }
 
+    if (injector && cfg.memTier.enabled()) {
+        // Tiered memory: the per-partition fault models draw through
+        // the run's injector, and every applied flip is scored against
+        // the owning region's declared span so the guardrail sees
+        // memory-tier error alongside LLC substitution error.
+        memory.setFaultInjector(injector.get());
+        QorGuardrail *g = guard.get();
+        memory.onBitFlip = [g, &registry](Addr addr, u8 *block,
+                                          u32 bit, u32 part) {
+            (void)part;
+            if (!g)
+                return;
+            const ApproxRegion *region = registry.find(addr);
+            if (!region)
+                return;
+            const unsigned elem = bit / elemBits(region->type);
+            const double after =
+                blockElement(block, region->type, elem);
+            // Un-flip to recover the pre-fault value of the element.
+            block[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+            const double before =
+                blockElement(block, region->type, elem);
+            block[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+            double err = std::abs(after - before) /
+                std::max(region->span(), 1e-30);
+            if (!std::isfinite(err) || err > 1.0)
+                err = 1.0;
+            g->observeError(err);
+        };
+    }
+    if (guard && cfg.memTier.enabled() && cfg.qor.migrateFactor > 0.0) {
+        // Cross-tier escalation: MIGRATED pins the approximate
+        // regions' pages to the precise partition; stepping back down
+        // restores the approximate routes.
+        MainMemory *m = &memory;
+        guard->onMigrate = [m](bool migrate) {
+            if (migrate)
+                m->migrateApproxToPrecise();
+            else
+                m->restoreApproxRoutes();
+        };
+    }
+
     if (injector) {
         llc->setFaultInjector(injector.get());
-        if (cfg.fault.memoryRate > 0.0) {
+        if (cfg.fault.memoryRate > 0.0 && !cfg.memTier.enabled()) {
             FaultInjector *fi = injector.get();
             QorGuardrail *g = guard.get();
             // Approximate-DRAM flips materialize at demand reads; only
@@ -201,6 +244,8 @@ runWorkload(const std::string &workload_name, const RunConfig &cfg)
     MemorySystem system(hc, *llc, memory, &statReg, "hierarchy");
     SimRuntime rt(system, memory, registry);
     rt.abortFlag = cfg.abortFlag; // watchdog unwind point
+    if (cfg.abortPollAccesses)
+        rt.setAbortPollInterval(cfg.abortPollAccesses);
 
     // Run-level derived stats, computed at snapshot time.
     const DoppelgangerCache *doppView = built.dopp;

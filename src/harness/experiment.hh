@@ -19,6 +19,7 @@
 #include "fault/fault_injector.hh"
 #include "fault/qor_guardrail.hh"
 #include "sim/hierarchy.hh"
+#include "sim/mem_tier.hh"
 #include "workloads/workload.hh"
 
 namespace dopp
@@ -95,6 +96,26 @@ struct RunConfig
 
     /** QoR guardrail (budget zero: no guardrail is attached). */
     QorConfig qor;
+
+    /**
+     * Partitioned main-memory tier (sim/mem_tier.hh). Empty partition
+     * list: the legacy flat DRAM model, bit-identical to every
+     * pre-tier run. Non-empty: annotated approximate regions route to
+     * the approximate/NVM partitions, per-partition fault models draw
+     * through the run's FaultInjector, and the guardrail (when
+     * qor.migrateFactor > 0) can migrate regions back to the precise
+     * partition.
+     */
+    MemTierConfig memTier;
+
+    /**
+     * Abort-poll granularity in accesses handed to SimRuntime
+     * (0 = keep the 4096-access default). Purely an observation-
+     * latency knob for the watchdog: like abortFlag it never affects
+     * a completed run's results and is excluded from the config
+     * fingerprint (harness/journal.hh).
+     */
+    u64 abortPollAccesses = 0;
 
     /**
      * Cooperative abort flag handed to SimRuntime (the batch runner's

@@ -491,6 +491,34 @@ configFingerprint(const RunConfig &cfg)
     add("qor.reenableFraction", fmtDouble(cfg.qor.reenableFraction));
     add("qor.window", fmtU64(cfg.qor.window));
     add("qor.minDwell", fmtU64(cfg.qor.minDwell));
+    add("qor.migrateFactor", fmtDouble(cfg.qor.migrateFactor));
+    add("qor.migrateDwell", fmtU64(cfg.qor.migrateDwell));
+    add("memTier.partitions",
+        fmtU64(cfg.memTier.partitions.size()));
+    for (size_t i = 0; i < cfg.memTier.partitions.size(); ++i) {
+        const MemPartitionProfile &p = cfg.memTier.partitions[i];
+        const std::string pre = "memTier.p" + fmtU64(i) + ".";
+        auto addP = [&](const char *field, const std::string &value) {
+            key += pre;
+            key += field;
+            key += '=';
+            key += value;
+            key += ';';
+        };
+        addP("kind", fmtU64(static_cast<u64>(p.kind)));
+        addP("name", p.name);
+        addP("bitErrorRate", fmtDouble(p.bitErrorRate));
+        addP("refreshFaultRate", fmtDouble(p.refreshFaultRate));
+        addP("refreshIntervalAccesses",
+             fmtU64(p.refreshIntervalAccesses));
+        addP("readLatency", fmtU64(p.readLatency));
+        addP("writeLatency", fmtU64(p.writeLatency));
+        addP("writeBufferDepth", fmtU64(p.writeBufferDepth));
+        addP("bufferedWriteLatency", fmtU64(p.bufferedWriteLatency));
+        addP("readEnergyPj", fmtDouble(p.readEnergyPj));
+        addP("writeEnergyPj", fmtDouble(p.writeEnergyPj));
+        addP("standbyPowerMw", fmtDouble(p.standbyPowerMw));
+    }
 
     char hex[17];
     std::snprintf(hex, sizeof(hex), "%016llx",

@@ -307,7 +307,7 @@ ConventionalLlc::fetch(Addr addr, u8 *data)
     evictLine(set, victim);
 
     Line &line = array.at(set, victim);
-    mem.readBlock(addr, line.data.data());
+    const Tick memLat = mem.readBlock(addr, line.data.data());
     array.setValid(set, victim, true);
     line.tag = tag;
     line.dirty = false;
@@ -316,7 +316,7 @@ ConventionalLlc::fetch(Addr addr, u8 *data)
     ++ctr->dataArray.writes;
 
     std::memcpy(data, line.data.data(), blockBytes);
-    return {false, hitLatency + mem.latency()};
+    return {false, hitLatency + memLat};
 }
 
 void

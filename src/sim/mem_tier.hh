@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Partition profiles for the tiered main-memory model (DESIGN.md §13).
+ *
+ * The paper stops approximating at the LLC; the natural next tier is
+ * the backing memory itself. Following Akiyama's data-partitioning
+ * study (PAPERS.md), main memory is split into partitions with
+ * per-partition reliability/latency/energy profiles: a precise DRAM
+ * partition (normal refresh, no errors), approximate DRAM partitions
+ * (lowered refresh rate, so retention errors accumulate between
+ * refresh epochs and materialize at the next read), and NVM banks
+ * (asymmetric read/write latency with a small write buffer absorbing
+ * writeback bursts, after the AXLE nvram-sim model). The approx-region
+ * registry routes annotated pages to approximate partitions; precise
+ * data pins to the precise partition.
+ *
+ * Everything here is plain configuration: MemTierConfig is carried by
+ * RunConfig, enters the journal fingerprint field-for-field
+ * (harness/journal.cc), and the runtime behavior it selects is a pure
+ * function of it plus the fault seed — the determinism contract of
+ * DESIGN.md §9 extends through the memory tier unchanged.
+ */
+
+#ifndef DOPP_SIM_MEM_TIER_HH
+#define DOPP_SIM_MEM_TIER_HH
+
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace dopp
+{
+
+/** Technology class of one main-memory partition. */
+enum class MemPartitionKind : u8
+{
+    PreciseDram, ///< normal-refresh DRAM, assumed error-free
+    ApproxDram,  ///< lowered-refresh DRAM: retention errors accumulate
+    Nvm,         ///< non-volatile bank: asymmetric costs, write buffer
+};
+
+/** Human-readable kind name (header-only: sim must not link fault). */
+inline const char *
+memPartitionKindName(MemPartitionKind kind)
+{
+    switch (kind) {
+      case MemPartitionKind::PreciseDram: return "precise-dram";
+      case MemPartitionKind::ApproxDram: return "approx-dram";
+      case MemPartitionKind::Nvm: return "nvm";
+    }
+    return "?";
+}
+
+/**
+ * One partition's profile. All rates/latencies/energies are per block
+ * (64 B) access; a zero-rate profile with symmetric latencies and no
+ * write buffer reproduces the legacy flat memory exactly.
+ */
+struct MemPartitionProfile
+{
+    MemPartitionKind kind = MemPartitionKind::PreciseDram;
+
+    /** Display name for stats descriptions and bench tables. */
+    std::string name = "dram";
+
+    /** Probability a demand-read block takes one bit flip (read
+     * disturb / raw cell error; drawn per read from the run's seeded
+     * fault stream). */
+    double bitErrorRate = 0.0;
+
+    /**
+     * Probability per *elapsed refresh epoch* that a block read takes
+     * one retention bit flip (Akiyama-style refresh relaxation). A
+     * block untouched for k epochs draws k times at its next read,
+     * modeling errors accumulating while the data sat unrefreshed.
+     */
+    double refreshFaultRate = 0.0;
+
+    /** Partition accesses per refresh epoch (0: no refresh model). */
+    u64 refreshIntervalAccesses = 0;
+
+    /** Demand-read latency in cycles (Table 1 DRAM: 160). */
+    Tick readLatency = 160;
+
+    /** Full write latency in cycles (NVM writes are several x reads). */
+    Tick writeLatency = 160;
+
+    /**
+     * Write-buffer entries (0: none). A non-full buffer absorbs a
+     * writeback at bufferedWriteLatency; a full one forces the write
+     * (and any read arriving while it is full) to wait one full
+     * writeLatency drain. Reads drain one entry each as they pass.
+     */
+    u32 writeBufferDepth = 0;
+
+    /** Latency of a write absorbed by a non-full buffer. */
+    Tick bufferedWriteLatency = 0;
+
+    /** Dynamic energy per block read / write, in pJ. */
+    double readEnergyPj = 0.0;
+    double writeEnergyPj = 0.0;
+
+    /** Standby (refresh + leakage) power in mW; at the 1 GHz core
+     * clock, mW x runtime-cycles = pJ. */
+    double standbyPowerMw = 0.0;
+};
+
+/**
+ * The memory tier: an ordered partition list. Empty = legacy flat
+ * memory (single implicit precise partition, no per-partition stats).
+ * Approximate regions route round-robin across the non-precise
+ * partitions in list order; precise data pins to the first
+ * PreciseDram partition (the first partition if none is precise).
+ */
+struct MemTierConfig
+{
+    std::vector<MemPartitionProfile> partitions;
+
+    bool enabled() const { return !partitions.empty(); }
+
+    /** Whether any partition can inject faults (the harness attaches
+     * a FaultInjector iff this or FaultConfig::enabled() holds). */
+    bool
+    anyFaultRate() const
+    {
+        for (const MemPartitionProfile &p : partitions) {
+            if (p.bitErrorRate > 0.0 ||
+                (p.refreshFaultRate > 0.0 &&
+                 p.refreshIntervalAccesses > 0)) {
+                return true;
+            }
+        }
+        return false;
+    }
+};
+
+/** Table 1-compatible precise DRAM partition. */
+inline MemPartitionProfile
+preciseDramProfile()
+{
+    MemPartitionProfile p;
+    p.kind = MemPartitionKind::PreciseDram;
+    p.name = "precise-dram";
+    p.readLatency = 160;
+    p.writeLatency = 160;
+    // ~20 pJ/bit x 512 bits per 64 B DRAM burst (representative, not
+    // calibrated); standby covers refresh at the nominal rate.
+    p.readEnergyPj = 10240.0;
+    p.writeEnergyPj = 10240.0;
+    p.standbyPowerMw = 50.0;
+    return p;
+}
+
+/** Lowered-refresh approximate DRAM partition. */
+inline MemPartitionProfile
+approxDramProfile(double bit_error_rate = 1e-6,
+                  double refresh_fault_rate = 1e-4,
+                  u64 refresh_interval_accesses = 4096)
+{
+    MemPartitionProfile p;
+    p.kind = MemPartitionKind::ApproxDram;
+    p.name = "approx-dram";
+    p.bitErrorRate = bit_error_rate;
+    p.refreshFaultRate = refresh_fault_rate;
+    p.refreshIntervalAccesses = refresh_interval_accesses;
+    p.readLatency = 160;
+    p.writeLatency = 160;
+    p.readEnergyPj = 10240.0;
+    p.writeEnergyPj = 10240.0;
+    // Refresh energy scales with refresh rate; the relaxed partition
+    // spends roughly half the precise partition's standby power.
+    p.standbyPowerMw = 25.0;
+    return p;
+}
+
+/** NVM bank: asymmetric latency/energy, small write buffer, no
+ * refresh (non-volatile) but a raw read bit-error rate. */
+inline MemPartitionProfile
+nvmProfile(double bit_error_rate = 1e-7, u32 write_buffer_depth = 8)
+{
+    MemPartitionProfile p;
+    p.kind = MemPartitionKind::Nvm;
+    p.name = "nvm";
+    p.bitErrorRate = bit_error_rate;
+    p.readLatency = 192;  // ~1.2x DRAM read
+    p.writeLatency = 640; // ~4x DRAM write when the buffer is full
+    p.writeBufferDepth = write_buffer_depth;
+    p.bufferedWriteLatency = 48; // buffer-append cost
+    p.readEnergyPj = 12000.0;
+    p.writeEnergyPj = 35000.0;
+    p.standbyPowerMw = 1.0; // no refresh
+    return p;
+}
+
+/** The default three-partition tier used by the memtier sweeps. */
+inline MemTierConfig
+defaultMemTier(double approx_bit_error_rate = 1e-6,
+               double refresh_fault_rate = 1e-4)
+{
+    MemTierConfig tier;
+    tier.partitions.push_back(preciseDramProfile());
+    tier.partitions.push_back(
+        approxDramProfile(approx_bit_error_rate, refresh_fault_rate));
+    tier.partitions.push_back(nvmProfile());
+    return tier;
+}
+
+} // namespace dopp
+
+#endif // DOPP_SIM_MEM_TIER_HH

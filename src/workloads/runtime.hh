@@ -113,6 +113,7 @@ class SimRuntime
         r.maxValue = max_value;
         r.name = name;
         reg.add(r);
+        mem.routeApprox(base, bytes);
     }
 
     /** Select the core issuing subsequent accesses. */
@@ -229,13 +230,37 @@ class SimRuntime
     ApproxRegistry &registry() { return reg; }
 
     /**
-     * Optional cooperative abort flag, polled every 4096 accesses on
-     * the access path (cheap: one relaxed load per poll). When it
-     * reads true the current access throws RunAborted, unwinding the
-     * workload without touching the owning thread. The flag must
-     * outlive the run.
+     * Optional cooperative abort flag, polled every
+     * setAbortPollInterval() accesses (default 4096) on the access
+     * path (cheap: one relaxed load per poll). When it reads true the
+     * current access throws RunAborted, unwinding the workload without
+     * touching the owning thread. The flag must outlive the run.
      */
     const std::atomic<bool> *abortFlag = nullptr;
+
+    /**
+     * Set how many accesses elapse between abort-flag polls. @p every
+     * is rounded up to the next power of two (the poll predicate is a
+     * mask test); 0 restores the 4096-access default. A tighter
+     * interval shortens the latency between the watchdog raising the
+     * flag and the run actually unwinding, at the cost of one extra
+     * relaxed atomic load per poll.
+     */
+    void
+    setAbortPollInterval(u64 every)
+    {
+        if (every == 0) {
+            abortPollMask = 0xFFF;
+            return;
+        }
+        u64 pow2 = 1;
+        while (pow2 < every && pow2 < (u64{1} << 62))
+            pow2 <<= 1;
+        abortPollMask = pow2 - 1;
+    }
+
+    /** Current abort-poll interval in accesses (a power of two). */
+    u64 abortPollInterval() const { return abortPollMask + 1; }
 
     /** Compute cycles charged alongside every access (a simple stand-in
      * for the surrounding ALU work of a 4-wide OoO core). */
@@ -269,7 +294,7 @@ class SimRuntime
     tickHook()
     {
         ++accessCount;
-        if (abortFlag && (accessCount & 0xFFF) == 0 &&
+        if (abortFlag && (accessCount & abortPollMask) == 0 &&
             abortFlag->load(std::memory_order_relaxed)) {
             throw RunAborted("run aborted");
         }
@@ -284,6 +309,7 @@ class SimRuntime
     CoreId currentCore = 0;
     Addr nextAddr = 0x10000000;
     u64 accessCount = 0;
+    u64 abortPollMask = 0xFFF; ///< poll when (count & mask) == 0
     u64 hookPeriod = 0;
     std::function<void()> periodicHook;
 };

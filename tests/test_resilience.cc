@@ -146,6 +146,72 @@ TEST(Journal, FingerprintIsDeterministicAndDiscriminating)
     EXPECT_TRUE(configResumable(base));
 }
 
+TEST(Journal, FingerprintDistinguishesMemoryTierFields)
+{
+    RunConfig base = tinyConfig("kmeans", LlcKind::Baseline);
+    base.memTier = defaultMemTier();
+    const std::string fp = configFingerprint(base);
+    EXPECT_EQ(configFingerprint(base), fp);
+
+    // A flat-memory config fingerprints differently from a tiered one.
+    RunConfig c = tinyConfig("kmeans", LlcKind::Baseline);
+    EXPECT_NE(configFingerprint(c), fp);
+
+    // Every per-partition field moves the fingerprint.
+    c = base;
+    c.memTier.partitions[1].bitErrorRate *= 10.0;
+    EXPECT_NE(configFingerprint(c), fp);
+    c = base;
+    c.memTier.partitions[1].refreshFaultRate *= 10.0;
+    EXPECT_NE(configFingerprint(c), fp);
+    c = base;
+    c.memTier.partitions[1].refreshIntervalAccesses = 128;
+    EXPECT_NE(configFingerprint(c), fp);
+    c = base;
+    c.memTier.partitions[2].readLatency += 1;
+    EXPECT_NE(configFingerprint(c), fp);
+    c = base;
+    c.memTier.partitions[2].writeLatency += 1;
+    EXPECT_NE(configFingerprint(c), fp);
+    c = base;
+    c.memTier.partitions[2].writeBufferDepth += 1;
+    EXPECT_NE(configFingerprint(c), fp);
+    c = base;
+    c.memTier.partitions[2].bufferedWriteLatency += 1;
+    EXPECT_NE(configFingerprint(c), fp);
+    c = base;
+    c.memTier.partitions[0].readEnergyPj += 1.0;
+    EXPECT_NE(configFingerprint(c), fp);
+    c = base;
+    c.memTier.partitions[0].writeEnergyPj += 1.0;
+    EXPECT_NE(configFingerprint(c), fp);
+    c = base;
+    c.memTier.partitions[0].standbyPowerMw += 1.0;
+    EXPECT_NE(configFingerprint(c), fp);
+    c = base;
+    c.memTier.partitions[0].kind = MemPartitionKind::Nvm;
+    EXPECT_NE(configFingerprint(c), fp);
+    c = base;
+    c.memTier.partitions[0].name = "renamed";
+    EXPECT_NE(configFingerprint(c), fp);
+    c = base;
+    c.memTier.partitions.pop_back();
+    EXPECT_NE(configFingerprint(c), fp);
+
+    // The cross-tier guardrail knobs are result-affecting too.
+    c = base;
+    c.qor.migrateFactor = 1.5;
+    EXPECT_NE(configFingerprint(c), fp);
+    c = base;
+    c.qor.migrateDwell = 99;
+    EXPECT_NE(configFingerprint(c), fp);
+
+    // The abort-poll granularity is observation-only: excluded.
+    c = base;
+    c.abortPollAccesses = 64;
+    EXPECT_EQ(configFingerprint(c), fp);
+}
+
 // ---------------------------------------------------------------------
 // Journal records
 // ---------------------------------------------------------------------
@@ -617,6 +683,90 @@ TEST(Resilience, CancelledAndUnnamedConfigsNeverRetry)
     const std::vector<RunResult> results = runBatch(configs, opt);
     EXPECT_TRUE(results[0].failed);
     EXPECT_EQ(reg.snapshot().counter("batch.runsRetried"), 0u);
+}
+
+TEST(Resilience, MemTierCampaignResumesBitIdentically)
+{
+    // Memory-tier runs (per-partition faults + cross-tier guardrail)
+    // must journal and resume exactly like any other config: a
+    // jobs=2 resume of a partially-journaled campaign reproduces the
+    // uninterrupted jobs=1 CSV byte for byte.
+    std::vector<RunConfig> configs;
+    for (u64 i = 0; i < 6; ++i) {
+        RunConfig cfg = tinyConfig(
+            i % 2 ? "blackscholes" : "kmeans",
+            i % 2 ? LlcKind::SplitDopp : LlcKind::Baseline, 0.02);
+        cfg.workload.seed = 7000 + i;
+        cfg.memTier = defaultMemTier(1e-3, 1e-3);
+        cfg.qor.budget = 0.01;
+        cfg.qor.migrateFactor = 1.5;
+        cfg.qor.migrateDwell = 32;
+        configs.push_back(std::move(cfg));
+    }
+
+    BatchOptions serial;
+    serial.jobs = 1;
+    const std::vector<RunResult> reference =
+        runBatch(configs, serial);
+    TempPath referenceCsv;
+    writeResultsCsv(referenceCsv.path, reference);
+    const std::string referenceBytes = readFile(referenceCsv.path);
+
+    TempPath journal;
+    std::atomic<bool> cancel{false};
+    BatchOptions interrupted;
+    interrupted.jobs = 1;
+    interrupted.cancel = &cancel;
+    interrupted.onProgress = [&](const BatchProgress &p) {
+        if (!p.result.failed && p.completed >= 3)
+            cancel.store(true, std::memory_order_release);
+    };
+    const BatchOutcome partial =
+        runBatchResumable(configs, journal.path, interrupted);
+    EXPECT_EQ(partial.runsExecuted, 3u);
+
+    BatchOptions resumed;
+    resumed.jobs = 2;
+    const BatchOutcome full =
+        runBatchResumable(configs, journal.path, resumed);
+    EXPECT_EQ(full.runsResumed, 3u);
+    EXPECT_EQ(full.runsExecuted, 3u);
+    EXPECT_EQ(full.runsFailed, 0u);
+
+    TempPath resumedCsv;
+    writeResultsCsv(resumedCsv.path, full.results);
+    EXPECT_EQ(readFile(resumedCsv.path), referenceBytes);
+}
+
+TEST(Resilience, BatchAbortPollIntervalIsPlumbedToRuns)
+{
+    // With a 1 ms deadline the watchdog raises the flag almost
+    // immediately; a run that would finish well under the default
+    // 4096-access poll granularity still aborts when the batch
+    // tightens the poll to every 16 accesses, and the same run
+    // completes when the poll interval is loosened beyond the run's
+    // access count (the flag is simply never observed).
+    RunConfig cfg = tinyConfig("kmeans", LlcKind::Baseline, 0.5);
+
+    StatRegistry tightReg;
+    BatchOptions tight;
+    tight.jobs = 1;
+    tight.runTimeoutMs = 1;
+    tight.abortPollAccesses = 16;
+    tight.stats = &tightReg;
+    const std::vector<RunResult> aborted = runBatch({cfg}, tight);
+    ASSERT_TRUE(aborted[0].failed);
+    EXPECT_EQ(aborted[0].error, "timeout");
+    EXPECT_EQ(tightReg.snapshot().counter("batch.runsTimedOut"), 1u);
+
+    BatchOptions loose;
+    loose.jobs = 1;
+    loose.runTimeoutMs = 1;
+    loose.abortPollAccesses = u64{1} << 40; // far past the run's end
+    const std::vector<RunResult> finished =
+        runBatch({tinyConfig("kmeans", LlcKind::Baseline, 0.02)},
+                 loose);
+    EXPECT_FALSE(finished[0].failed) << finished[0].error;
 }
 
 TEST(Resilience, JournalBytesCounterTracksAppends)

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <vector>
 
 #include "sim/llc.hh"
@@ -158,6 +159,60 @@ TEST(SimRuntimeTiming, DefaultExposureMatchesDocumentedValue)
     Rig rig;
     EXPECT_DOUBLE_EQ(rig.rt.memStallFactor, 0.35);
     EXPECT_EQ(rig.rt.workPerAccess, 2u);
+}
+
+namespace
+{
+
+/** Accesses survived before RunAborted with a pre-set abort flag. */
+u64
+accessesUntilAbort(u64 poll_interval)
+{
+    Rig rig;
+    std::atomic<bool> abort{true}; // raised before the run starts
+    rig.rt.abortFlag = &abort;
+    if (poll_interval)
+        rig.rt.setAbortPollInterval(poll_interval);
+    const Addr a = rig.rt.allocate(64 * 1024, "x");
+    try {
+        for (u64 i = 0; i < 100000; ++i)
+            rig.rt.load<u8>(a + (i % 1024));
+    } catch (const RunAborted &) {
+        return rig.rt.accesses();
+    }
+    return 0; // never aborted: the test will fail on this
+}
+
+} // namespace
+
+TEST(SimRuntimeAbort, PollIntervalDefaultsTo4096)
+{
+    Rig rig;
+    EXPECT_EQ(rig.rt.abortPollInterval(), 4096u);
+    EXPECT_EQ(accessesUntilAbort(0), 4096u);
+}
+
+TEST(SimRuntimeAbort, TighterPollShortensObservedAbortLatency)
+{
+    // The flag is raised from access 0, so the unwind happens at the
+    // first poll: a tighter interval is observed proportionally
+    // sooner (satellite: configurable watchdog granularity).
+    const u64 tight = accessesUntilAbort(16);
+    const u64 loose = accessesUntilAbort(4096);
+    EXPECT_EQ(tight, 16u);
+    EXPECT_EQ(loose, 4096u);
+    EXPECT_LT(tight, loose);
+}
+
+TEST(SimRuntimeAbort, PollIntervalRoundsUpToPowerOfTwo)
+{
+    Rig rig;
+    rig.rt.setAbortPollInterval(100);
+    EXPECT_EQ(rig.rt.abortPollInterval(), 128u);
+    rig.rt.setAbortPollInterval(1);
+    EXPECT_EQ(rig.rt.abortPollInterval(), 1u);
+    rig.rt.setAbortPollInterval(0); // restore default
+    EXPECT_EQ(rig.rt.abortPollInterval(), 4096u);
 }
 
 } // namespace dopp
