@@ -16,7 +16,11 @@
  *     regressions. Throughput numbers are report-only.
  *
  * Results print as text tables and are written to BENCH_perf.json
- * (schema "dopp-bench-perf-v1") via the crash-safe atomicWriteFile.
+ * (schema "dopp-bench-perf-v2") via the crash-safe atomicWriteFile.
+ * Each organization row carries a per-phase hot-path breakdown
+ * (tag probe / MTag probe / list maintenance / data array, in ns)
+ * from a second instrumented pass with a HotPathProfile attached;
+ * the throughput numbers come from the uninstrumented first pass.
  *
  * Usage: bench_perf [--smoke] [--out PATH]
  *   --smoke (or DOPP_PERF_SMOKE=1)  tiny iteration counts for CI;
@@ -121,6 +125,14 @@ struct OrgResult
     std::string name;
     double accessesPerSec;
     double mapsPerSec;
+
+    /** Per-phase hot-path breakdown from a second, instrumented pass
+     * (sim/llc.hh HotPathProfile); the throughput numbers above come
+     * from the uninstrumented pass and pay none of this timing. */
+    u64 tagProbeNs = 0;
+    u64 mtagProbeNs = 0;
+    u64 listMaintNs = 0;
+    u64 dataArrayNs = 0;
 };
 
 /**
@@ -180,6 +192,28 @@ benchOrg(const std::string &name, u64 accesses)
     r.accessesPerSec = static_cast<double>(accesses) / elapsed;
     r.mapsPerSec =
         static_cast<double>(built.llc->stats().mapGens) / elapsed;
+
+    // Second, instrumented pass: attach a HotPathProfile and replay a
+    // quarter of the stream so the report can break the access cost
+    // into tag probe / MTag probe / list maintenance / data array.
+    HotPathProfile profile;
+    built.llc->setHotPathProfile(&profile);
+    for (u64 n = 0; n < accesses / 4; ++n) {
+        const Addr addr = (rng.below(footprintBlocks)) * blockBytes;
+        if (n % 4 == 3) {
+            setBlockElement(buf.data(), ElemType::F32,
+                            static_cast<unsigned>(n % 16),
+                            rng.below(1000) / 1000.0);
+            built.llc->writeback(addr, buf.data());
+        } else {
+            built.llc->fetch(addr, buf.data());
+        }
+    }
+    built.llc->setHotPathProfile(nullptr);
+    r.tagProbeNs = profile.tagProbeNs;
+    r.mtagProbeNs = profile.mtagProbeNs;
+    r.listMaintNs = profile.listMaintNs;
+    r.dataArrayNs = profile.dataArrayNs;
     return r;
 }
 
@@ -229,7 +263,7 @@ benchMemTier(const std::string &label, const MemTierConfig &tier,
 int
 main(int argc, char **argv)
 {
-    bool smoke = envU64("DOPP_PERF_SMOKE", 0) != 0;
+    bool smoke = envFlag("DOPP_PERF_SMOKE", false);
     const char *envOut = std::getenv("DOPP_PERF_OUT");
     std::string outPath =
         envOut && *envOut ? envOut : "BENCH_perf.json";
@@ -284,12 +318,23 @@ main(int argc, char **argv)
     kt.print("Map-kernel throughput");
 
     TextTable ot;
-    ot.header({"organization", "accesses/s", "maps/s"});
+    ot.header({"organization", "accesses/s", "maps/s", "tagProbe ns",
+               "mtagProbe ns", "listMaint ns", "dataArray ns"});
     for (const OrgResult &o : orgs) {
         ot.row({o.name, strfmt("%.3g", o.accessesPerSec),
-                strfmt("%.3g", o.mapsPerSec)});
+                strfmt("%.3g", o.mapsPerSec),
+                strfmt("%llu",
+                       static_cast<unsigned long long>(o.tagProbeNs)),
+                strfmt("%llu",
+                       static_cast<unsigned long long>(o.mtagProbeNs)),
+                strfmt("%llu",
+                       static_cast<unsigned long long>(o.listMaintNs)),
+                strfmt("%llu",
+                       static_cast<unsigned long long>(
+                           o.dataArrayNs))});
     }
-    ot.print("LLC organization throughput");
+    ot.print("LLC organization throughput (phase ns: instrumented "
+             "pass, report-only)");
 
     TextTable mt;
     mt.header({"config", "accesses/s"});
@@ -297,7 +342,7 @@ main(int argc, char **argv)
         mt.row({m.name, strfmt("%.3g", m.accessesPerSec)});
     mt.print("Memory-tier throughput");
 
-    std::string json = "{\n  \"schema\": \"dopp-bench-perf-v1\",\n";
+    std::string json = "{\n  \"schema\": \"dopp-bench-perf-v2\",\n";
     json += strfmt("  \"smoke\": %s,\n", smoke ? "true" : "false");
     json += strfmt("  \"kernelMaps\": %llu,\n",
                    static_cast<unsigned long long>(kernelMaps));
@@ -321,8 +366,14 @@ main(int argc, char **argv)
         const OrgResult &o = orgs[i];
         json += strfmt(
             "    {\"organization\": \"%s\", \"accessesPerSec\": %.6g, "
-            "\"mapsPerSec\": %.6g}%s\n",
+            "\"mapsPerSec\": %.6g, \"tagProbeNs\": %llu, "
+            "\"mtagProbeNs\": %llu, \"listMaintNs\": %llu, "
+            "\"dataArrayNs\": %llu}%s\n",
             o.name.c_str(), o.accessesPerSec, o.mapsPerSec,
+            static_cast<unsigned long long>(o.tagProbeNs),
+            static_cast<unsigned long long>(o.mtagProbeNs),
+            static_cast<unsigned long long>(o.listMaintNs),
+            static_cast<unsigned long long>(o.dataArrayNs),
             i + 1 < orgs.size() ? "," : "");
     }
     json += "  ],\n  \"memoryTier\": [\n";

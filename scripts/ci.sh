@@ -58,6 +58,66 @@ diff <(json_keys BENCH_perf.json) <(json_keys "$SMOKE_DIR/BENCH_perf.json") || {
 }
 echo "ci: bench_perf smoke + schema check passed"
 
+# Differential hot-path suite: the optimized structure-of-arrays
+# Doppelgänger engine must stay bit-identical to the frozen reference
+# implementation. Run it serial and 4-wide so the contract holds under
+# the threaded batch runner too.
+DOPP_JOBS=1 ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -j "$(nproc)" -R 'HotpathDiff|TagPool'
+DOPP_JOBS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -j "$(nproc)" -R 'HotpathDiff|TagPool'
+echo "ci: differential hot-path suite passed (jobs=1 and jobs=4)"
+
+# Reference-vs-optimized stdout diff on a real figure bench: flip the
+# whole process to the reference engine via DOPP_REFERENCE_IMPL and
+# require byte-identical report output — the end-to-end version of the
+# differential suite's bit-identity contract.
+env DOPP_WORKLOAD_SCALE=0.05 DOPP_REFERENCE_IMPL=1 \
+    "$BUILD_DIR/bench/bench_fig12_offchip_traffic" \
+    > "$SMOKE_DIR/fig12_ref.txt"
+env DOPP_WORKLOAD_SCALE=0.05 DOPP_REFERENCE_IMPL=0 \
+    "$BUILD_DIR/bench/bench_fig12_offchip_traffic" \
+    > "$SMOKE_DIR/fig12_opt.txt"
+diff "$SMOKE_DIR/fig12_ref.txt" "$SMOKE_DIR/fig12_opt.txt" || {
+    echo "ci: bench_fig12 output diverged between reference and" \
+         "optimized engines" >&2
+    exit 1
+}
+echo "ci: reference-vs-optimized bench stdout diff passed"
+
+# Throughput gate: a full (non-smoke) bench_perf run's
+# split-doppelganger accesses/sec must not regress more than
+# DOPP_PERF_GATE_PCT percent (default 10) below the committed
+# BENCH_perf.json. DOPP_PERF_GATE=0 skips the gate (e.g. on heavily
+# loaded or throttled machines where wall-clock throughput is noise).
+PERF_GATE="${DOPP_PERF_GATE:-1}"
+PERF_GATE_PCT="${DOPP_PERF_GATE_PCT:-10}"
+if [ "$PERF_GATE" != "0" ]; then
+    "$BUILD_DIR/bench/bench_perf" \
+        --out "$SMOKE_DIR/BENCH_perf_gate.json" > /dev/null
+    split_rate() {
+        grep -o '"organization": "split-doppelganger"[^}]*' "$1" |
+            grep -o '"accessesPerSec": [0-9.eE+-]*' | head -1 |
+            awk '{print $2}'
+    }
+    COMMITTED_RATE="$(split_rate BENCH_perf.json)"
+    CURRENT_RATE="$(split_rate "$SMOKE_DIR/BENCH_perf_gate.json")"
+    awk -v cur="$CURRENT_RATE" -v base="$COMMITTED_RATE" \
+        -v pct="$PERF_GATE_PCT" 'BEGIN {
+        lim = base * (1 - pct / 100.0);
+        if (cur + 0 < lim) {
+            printf "ci: split-doppelganger accessesPerSec %.4g is " \
+                   "more than %s%% below the committed %.4g\n",
+                   cur, pct, base;
+            exit 1;
+        }
+        printf "ci: perf gate passed: %.4g accesses/s >= %.4g " \
+               "(committed %.4g - %s%%)\n", cur, lim, base, pct;
+    }'
+else
+    echo "ci: perf gate skipped (DOPP_PERF_GATE=0)"
+fi
+
 # Memory-tier smoke sweep: run the bench_fig_memtier sweep twice at a
 # tiny scale — serial and 4-wide — and require byte-identical output,
 # so the per-partition fault draws and the cross-tier guardrail stay

@@ -63,4 +63,12 @@ DOPP_JOBS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
     -R 'MapFunction|MapEdgeCases|MapBitsExtremes|MapSpaceSweep|MapTypeSweep|KernelMatchesGeneric' \
     "$@"
+
+# Re-run the differential hot-path suite and the tag-pool fuzzer
+# explicitly: the index-pooled tag lists and the SoA directories do
+# raw arena indexing on every access, and the fault-injection paths
+# flip pointer bits on purpose — exactly where an out-of-bounds index
+# or a stale-link dereference would hide from the unsanitized suite.
+DOPP_JOBS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -j "$(nproc)" -R 'HotpathDiff|TagPool|SetAssocDir' "$@"
 echo "sanitize_check: all tests passed under ASan+UBSan"

@@ -29,10 +29,11 @@ DedupLlc::DedupLlc(MainMemory &memory, const DedupConfig &config,
     dc.mapOverride = [](const u8 *block, const MapParams &) {
         return fnv1a64(block, blockBytes);
     };
+    dc.referenceImpl = config.referenceImpl;
     // The engine owns every counter; register it under the dedup
     // cache's own group so "llc.*" names resolve to engine activity.
-    engine = std::make_unique<DoppelgangerCache>(
-        memory, dc, nullptr, stat_registry, stat_group);
+    engine = makeDoppEngine(memory, dc, nullptr, stat_registry,
+                            stat_group);
 }
 
 void

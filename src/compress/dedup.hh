@@ -15,7 +15,7 @@
 
 #include <memory>
 
-#include "core/doppelganger_cache.hh"
+#include "core/dopp_engine.hh"
 #include "sim/llc.hh"
 
 namespace dopp
@@ -32,6 +32,9 @@ struct DedupConfig
     u32 dataEntries = 16 * 1024;
     u32 dataWays = 16;
     Tick hitLatency = 6;
+
+    /** Use the reference (AoS) engine; see DoppConfig::referenceImpl. */
+    bool referenceImpl = false;
 };
 
 /**
@@ -55,14 +58,19 @@ class DedupLlc : public LastLevelCache
     const char *name() const override { return "dedup"; }
 
     void setBackInvalidate(BackInvalidateFn fn) override;
+    void
+    setHotPathProfile(HotPathProfile *p) override
+    {
+        engine->setHotPathProfile(p);
+    }
     const LlcStats &stats() const override { return engine->stats(); }
     void resetStats() override { engine->resetStats(); }
 
     /** Underlying engine, for occupancy introspection. */
-    const DoppelgangerCache &inner() const { return *engine; }
+    const DoppEngine &inner() const { return *engine; }
 
   private:
-    std::unique_ptr<DoppelgangerCache> engine;
+    std::unique_ptr<DoppEngine> engine;
 };
 
 } // namespace dopp

@@ -14,6 +14,26 @@
  *    against the stored map tags. Each data entry holds the map tag, a
  *    pointer to the head of its tag list, and the 64 B data block.
  *
+ * This is the *optimized* engine (see dopp_engine.hh for the contract
+ * and the reference twin). The simulator-side layout differs from the
+ * figures while modeling the same hardware:
+ *
+ *  - Both lookup structures are SetAssocDir structure-of-arrays
+ *    directories: a whole set's address tags (or MTags) occupy one
+ *    contiguous run of u64 keys plus a flag byte per way, so a 16-way
+ *    probe is a single batched pass over two cache lines instead of a
+ *    stride over interleaved entry structs.
+ *  - The per-tag fields (map value, prev/next list links) and the
+ *    per-entry fields (list head, 64 B block) live in flat per-field
+ *    arenas indexed by the same flattened `set * ways + way` slot —
+ *    intrusive index pools, pre-allocated per set, so list maintenance
+ *    touches exactly the fields it needs and the doubly-linked
+ *    shared-data lists (Fig 5) chain arena indices, not pointers.
+ *  - No std::function on the access path: the map override is a plain
+ *    function pointer (MapOverrideFn) and block iteration is a
+ *    monomorphized template (visitBlocks) behind the virtual
+ *    forEachBlock wrapper.
+ *
  * The same class also implements the unified uniDoppelgänger variant
  * (Sec 3.8) when configured with `unified = true`: precise blocks get
  * an exclusive data entry addressed through a direct pointer in the
@@ -23,80 +43,17 @@
 #ifndef DOPP_CORE_DOPPELGANGER_CACHE_HH
 #define DOPP_CORE_DOPPELGANGER_CACHE_HH
 
-#include <functional>
 #include <optional>
 
-#include "core/map_function.hh"
-#include "sim/llc.hh"
+#include "core/dopp_engine.hh"
 #include "sim/set_assoc.hh"
 #include "util/types.hh"
 
 namespace dopp
 {
 
-/** Configuration of a Doppelgänger (or uniDoppelgänger) cache. */
-struct DoppConfig
-{
-    /** Tag-array entries; 16 K = "1 MB tag-equivalent" (Table 1). */
-    u32 tagEntries = 16 * 1024;
-    u32 tagWays = 16;
-
-    /** Data-array entries; 4 K = the paper's base 1/4 data array. */
-    u32 dataEntries = 4 * 1024;
-    u32 dataWays = 16;
-
-    /** Map-space size M (Table 1 default: 14-bit). */
-    unsigned mapBits = 14;
-
-    /** Hash-function selection (ablation; paper uses AvgAndRange). */
-    MapHashMode hashMode = MapHashMode::AvgAndRange;
-
-    /**
-     * Optional replacement for the map function. When set, it is used
-     * instead of computeMap(); the exact-deduplication baseline plugs a
-     * 64-bit content hash in here to share entries only between
-     * byte-identical blocks.
-     */
-    std::function<u64(const u8 *block, const MapParams &)> mapOverride;
-
-    /** Total hit latency in cycles (Table 1: 6). */
-    Tick hitLatency = 6;
-
-    /** uniDoppelgänger mode: precise blocks may reside here too. */
-    bool unified = false;
-
-    /**
-     * XOR-fold the whole map into the data-array set index instead of
-     * using the raw low map bits (the paper's Fig 4 uses the latter).
-     * Structured integer data can land every map on a few low-bit
-     * residues, leaving most sets idle; folding — standard practice for
-     * hashed cache indexing — restores set balance without changing
-     * which blocks share an entry. Ablate with bench_ablations.
-     */
-    bool hashDataSetIndex = true;
-
-    /** Annotation fallback for addresses without a registered region
-     * (standalone/unit-test use; split routing guarantees a region). */
-    ElemType defaultType = ElemType::F32;
-    double defaultMin = 0.0;
-    double defaultMax = 1.0;
-
-    ReplPolicy tagPolicy = ReplPolicy::LRU;
-    ReplPolicy dataPolicy = ReplPolicy::LRU;
-
-    /**
-     * Tag-count-aware data replacement: evict the data entry with the
-     * fewest linked tags (fewest back-invalidations and writebacks),
-     * breaking ties by the base policy's choice. The paper suggests
-     * exactly this as future work (Sec 3.5: "a more specialized
-     * replacement algorithm could take into account ... the number of
-     * tags associated to a data entry"). Ablate with bench_ablations.
-     */
-    bool tagCountAwareData = false;
-};
-
 /**
- * Doppelgänger LLC implementation.
+ * Optimized Doppelgänger LLC implementation (structure-of-arrays).
  *
  * Faithfully implements the paper's operational semantics:
  *  - Lookups (Sec 3.2): sequential tag-array then MTag-array probe; a
@@ -114,8 +71,12 @@ struct DoppConfig
  *  - Replacements (Sec 3.5): per-tag dirty bits; evicting a data entry
  *    evicts and writes back all linked tags; a sole tag's eviction
  *    frees its data entry. LRU in both arrays by default.
+ *
+ * Every observable — StatRegistry snapshots, final contents, fault
+ * draw/record traces, replacement decisions — is bit-identical to
+ * RefDoppelgangerCache by contract (tests/test_hotpath_diff.cc).
  */
-class DoppelgangerCache : public LastLevelCache
+class DoppelgangerCache : public DoppEngine
 {
   public:
     /**
@@ -140,126 +101,43 @@ class DoppelgangerCache : public LastLevelCache
         const override;
     void flush() override;
 
-    const char *
-    name() const override
-    {
-        return cfg.unified ? "uniDoppelganger" : "doppelganger";
-    }
+    void setHotPathProfile(HotPathProfile *p) override { prof = p; }
 
-    /** @name Introspection (tests, stats, examples) */
-    /// @{
-
-    /** Number of valid tag entries. */
-    u64 tagCount() const { return tags.validCount(); }
-
-    /** Number of valid data entries. */
-    u64 dataCount() const { return data.validCount(); }
-
-    /** Tags currently linked to @p addr's data entry (0 if absent). */
-    unsigned tagsSharingWith(Addr addr) const;
-
-    /** Whether two resident blocks share one data entry. */
-    bool sameDataEntry(Addr a, Addr b) const;
-
-    /** The 64 B the cache would serve for @p addr (nullptr if absent). */
-    const u8 *peekBlock(Addr addr) const;
-
-    /** Map value stored for @p addr's tag (nullopt if absent/precise). */
-    std::optional<u64> mapOf(Addr addr) const;
-
-    const DoppConfig &config() const { return cfg; }
-
-    /**
-     * Exhaustive structural invariant check (tests, fault repair):
-     *  - every valid tag's map resolves to a valid data entry;
-     *  - walking each data entry's list visits exactly the valid tags
-     *    whose map points at it, with consistent prev/next links;
-     *  - every valid approximate data entry has a non-empty list;
-     *  - precise tags (unified mode) have null prev/next and own their
-     *    entry exclusively.
-     * Hardened against corrupted metadata: out-of-range pointers and
-     * cycles are reported as violations, never dereferenced.
-     * @param why receives a description of the first violation.
-     * @return true iff all invariants hold.
-     */
-    bool checkInvariants(std::string *why = nullptr) const;
-
-    /**
-     * Self-check-and-repair path for injected metadata faults: runs
-     * checkInvariants and, on a violation, rebuilds every tag list
-     * from the surviving tag metadata — tags whose map no longer
-     * resolves to a data entry are back-invalidated and dropped
-     * (rescuing dirty private copies to memory), orphaned data entries
-     * are freed, and all prev/next links are regenerated. Counted in
-     * stats() as faultsDetected / faultsRepaired / repairTagsDropped /
-     * repairEntriesDropped. Panics if invariants still fail after the
-     * rebuild (repair is by construction exhaustive, so that would be
-     * a simulator bug).
-     *
-     * @return true if a corruption was detected (and repaired).
-     */
-    bool selfCheckAndRepair();
-    /// @}
+    u64 tagCount() const override { return tagDir.validCount(); }
+    u64 dataCount() const override { return dataDir.validCount(); }
+    unsigned tagsSharingWith(Addr addr) const override;
+    bool sameDataEntry(Addr a, Addr b) const override;
+    const u8 *peekBlock(Addr addr) const override;
+    std::optional<u64> mapOf(Addr addr) const override;
+    bool checkInvariants(std::string *why = nullptr) const override;
+    bool selfCheckAndRepair() override;
 
   private:
-    /** Tag-array entry (77 bits in hardware, Table 3). */
-    struct TagEntry
-    {
-        bool valid = false;
-        u64 tag = 0;        ///< address tag
-        bool dirty = false; ///< per-tag dirty bit (Sec 3.4)
-        bool precise = false; ///< uniDoppelgänger precise/approx bit
-        u64 map = 0;        ///< map value, or direct index if precise
-        i32 prev = -1;      ///< previous tag in the shared-data list
-        i32 next = -1;      ///< next tag in the shared-data list
-    };
+    /** @name Client flag bits (SetAssocDir bit 0 is the valid bit) */
+    /// @{
+    static constexpr u8 TagDirty = 2;   ///< per-tag dirty bit (Sec 3.4)
+    static constexpr u8 TagPrecise = 4; ///< uniDoppelgänger precise tag
+    static constexpr u8 DataPrecise = 2; ///< exclusive precise entry
+    /// @}
 
-    /** Data-array entry with its MTag fields (Fig 4 right side). */
-    struct DataEntry
-    {
-        bool valid = false;
-        u64 tag = 0;        ///< full map value (block address if precise)
-        bool precise = false;
-        i32 head = -1;      ///< tag pointer to the list head
-        BlockData data = {};
-    };
-
-    /** Flattened tag-entry index: set * ways + way. */
+    /** Flattened tag-slot index: set * ways + way. */
     i32 tagIndex(u32 set, u32 way) const;
-    TagEntry &tagAt(i32 idx);
-    const TagEntry &tagAt(i32 idx) const;
     Addr tagAddr(i32 idx) const;
 
-    /** Locate @p addr's tag entry. @return index or -1. */
+    /** Locate @p addr's tag slot (batched set probe). @return index
+     * or -1. */
     i32 findTag(Addr addr) const;
 
     /** Data-array set a map value indexes. */
     u32 dataSetOfMap(u64 map) const;
 
-    /** Locate the data entry matching @p map. @return flattened index
+    /** Locate the approximate data entry matching @p map (batched
+     * MTag probe skipping precise entries). @return flattened index
      * (set * ways + way) or -1. */
     i32 findDataByMap(u64 map) const;
-    DataEntry &dataAt(i32 idx);
-    const DataEntry &dataAt(i32 idx) const;
 
-    /** Data entry a (valid) tag currently points at. */
-    i32 dataIndexOfTag(const TagEntry &t) const;
-
-    /**
-     * Map parameters (type/range/M) for a block address, served from
-     * the per-region cache. The cache is built lazily on the first
-     * call (the LLC is constructed before workloads annotate their
-     * regions); after that the registry must stay untouched — mirrors
-     * the paper's start-of-application range transfer (Sec 4.1) and
-     * is asserted via ApproxRegistry::generation().
-     */
-    MapParams paramsFor(Addr addr) const;
-
-    /** Snapshot the registry into paramCache (see paramsFor). */
-    void buildParamCache() const;
-
-    /** Compute the map of @p bytes at @p addr, honoring mapOverride. */
-    u64 mapFor(Addr addr, const u8 *bytes) const;
+    /** Data entry a (valid) tag at @p tag_idx currently points at. */
+    i32 dataIndexOfTag(i32 tag_idx) const;
 
     /** Insert @p tag_idx at the head of data entry @p data_idx's list. */
     void linkHead(i32 tag_idx, i32 data_idx);
@@ -277,7 +155,7 @@ class DoppelgangerCache : public LastLevelCache
 
     /** Write @p tag_idx's block back to memory if needed (on evict).
      * Private dirty copies supersede the shared data entry. */
-    void writebackTag(i32 tag_idx, const DataEntry &entry);
+    void writebackTag(i32 tag_idx, i32 data_idx);
 
     /** Number of tags on the list of data entry @p data_idx, counting
      * at most @p cap (enough to compare victims cheaply). */
@@ -288,6 +166,12 @@ class DoppelgangerCache : public LastLevelCache
 
     /** Handle the off-critical-path part of a fetch miss (Sec 3.3). */
     void insertBlock(Addr addr, const u8 *bytes);
+
+    /** Monomorphized block iteration; forEachBlock wraps this with a
+     * std::function for the virtual interface, internal callers pay
+     * no type-erasure hop. */
+    template <typename Visitor>
+    void visitBlocks(Visitor &&visit) const;
 
     /** @name Fault injection and QoR reporting (src/fault) */
     /// @{
@@ -300,7 +184,8 @@ class DoppelgangerCache : public LastLevelCache
     /** Flip one bit of a (valid, approximate) data entry's 64 B. */
     void injectDataFault();
 
-    /** Flip one tag-metadata bit (map, prev/next, dirty, precise).
+    /** Flip one tag-metadata bit (map, prev/next, dirty, precise),
+     * targeting the arena-resident index fields directly.
      * @return whether the flip can break structural invariants. */
     bool injectTagMetaFault();
 
@@ -313,65 +198,42 @@ class DoppelgangerCache : public LastLevelCache
     std::pair<u64, u64> repairMetadata();
 
     /** Report a fill/writeback substitution error to the guardrail:
-     * the requester's exact @p exact bytes were replaced by entry
-     * @p d's stored doppelgänger. */
-    void observeSubstitution(Addr addr, const u8 *exact,
-                             const DataEntry &d);
+     * the requester's exact @p exact bytes were replaced by data entry
+     * @p data_idx's stored doppelgänger. */
+    void observeSubstitution(Addr addr, const u8 *exact, i32 data_idx);
 
     /** Report an error-free operation to the guardrail. */
     void observeClean();
     /// @}
 
-    /** Set a tag entry's validity by flattened index, keeping the
-     * array's incremental valid count exact. */
-    void
-    setTagValid(i32 idx, bool v)
-    {
-        tags.setValid(static_cast<u32>(idx) / cfg.tagWays,
-                      static_cast<u32>(idx) % cfg.tagWays, v);
-    }
-
-    /** Set a data entry's validity by flattened index. */
-    void
-    setDataValid(i32 idx, bool v)
-    {
-        data.setValid(static_cast<u32>(idx) / cfg.dataWays,
-                      static_cast<u32>(idx) % cfg.dataWays, v);
-    }
-
-    DoppConfig cfg;
-    const ApproxRegistry *registry;
-
-    /** True iff cfg.mapOverride is installed; cached so the hot path
-     * tests one byte instead of a std::function every access. */
-    bool hasMapOverride;
-
-    /** One cached [base, end) → MapParams translation. */
-    struct CachedRegion
-    {
-        Addr base = 0;
-        Addr end = 0;
-        MapParams params;
-    };
-
-    /** Per-region MapParams, sorted by base; see paramsFor(). Mutable
-     * because the build is lazily triggered from const lookups. */
-    mutable std::vector<CachedRegion> paramCache;
-    /** Most recently hit cache slot (index into paramCache), or -1.
-     * Accesses stream through one region at a time, so this memo
-     * short-circuits the binary search almost always. */
-    mutable i32 hotParam = -1;
-    /** Registry generation paramCache was built against. */
-    mutable u64 paramGen = 0;
-    mutable bool paramsCached = false;
-
-    /** Fallback for addresses outside every region. */
-    MapParams defaultParams;
-
-    SetAssocArray<TagEntry> tags;
+    /**
+     * Address-tag directory (SoA): key = address tag; client flags
+     * TagDirty / TagPrecise.
+     */
+    SetAssocDir tagDir;
     AddrSlicer tagSlicer;
 
-    SetAssocArray<DataEntry> data;
+    /**
+     * MTag directory (SoA): key = full map value (block address for
+     * precise entries); client flag DataPrecise.
+     */
+    SetAssocDir dataDir;
+
+    /** @name Per-field arenas (intrusive index pools)
+     * One slot per directory way, indexed by the flattened slot index;
+     * "free" slots are simply the directory-invalid ones, so there is
+     * no separate free list to maintain or corrupt. */
+    /// @{
+    std::vector<u64> tagMapV;  ///< map value / direct index if precise
+    std::vector<i32> tagPrevV; ///< previous tag in the shared-data list
+    std::vector<i32> tagNextV; ///< next tag in the shared-data list
+    std::vector<i32> dataHeadV; ///< head of each entry's tag list
+    std::vector<BlockData> blocks; ///< 64 B payloads, separated from
+                                   ///< the probed metadata
+    /// @}
+
+    /** Per-phase wall-clock sink (bench-only; null in normal runs). */
+    HotPathProfile *prof = nullptr;
 };
 
 } // namespace dopp

@@ -1,4 +1,4 @@
-#include "doppelganger_cache.hh"
+#include "doppelganger_ref.hh"
 
 #include <algorithm>
 #include <cmath>
@@ -13,56 +13,64 @@
 namespace dopp
 {
 
-DoppelgangerCache::DoppelgangerCache(MainMemory &memory,
-                                     const DoppConfig &config,
-                                     const ApproxRegistry *registry,
-                                     StatRegistry *stat_registry,
-                                     const std::string &stat_group)
+RefDoppelgangerCache::RefDoppelgangerCache(
+    MainMemory &memory, const DoppConfig &config,
+    const ApproxRegistry *registry, StatRegistry *stat_registry,
+    const std::string &stat_group)
     : DoppEngine(memory, config, registry, stat_registry, stat_group),
-      tagDir(config.tagEntries / config.tagWays, config.tagWays,
-             config.tagPolicy),
+      tags(config.tagEntries / config.tagWays, config.tagWays,
+           config.tagPolicy),
       tagSlicer(config.tagEntries / config.tagWays),
-      dataDir(config.dataEntries / config.dataWays, config.dataWays,
-              config.dataPolicy),
-      tagMapV(config.tagEntries, 0),
-      tagPrevV(config.tagEntries, -1),
-      tagNextV(config.tagEntries, -1),
-      dataHeadV(config.dataEntries, -1),
-      blocks(config.dataEntries)
+      data(config.dataEntries / config.dataWays, config.dataWays,
+           config.dataPolicy)
 {
     initLlcCounters();
 }
 
 i32
-DoppelgangerCache::tagIndex(u32 set, u32 way) const
+RefDoppelgangerCache::tagIndex(u32 set, u32 way) const
 {
     return static_cast<i32>(set * cfg.tagWays + way);
 }
 
+RefDoppelgangerCache::TagEntry &
+RefDoppelgangerCache::tagAt(i32 idx)
+{
+    return tags.at(static_cast<u32>(idx) / cfg.tagWays,
+                   static_cast<u32>(idx) % cfg.tagWays);
+}
+
+const RefDoppelgangerCache::TagEntry &
+RefDoppelgangerCache::tagAt(i32 idx) const
+{
+    return tags.at(static_cast<u32>(idx) / cfg.tagWays,
+                   static_cast<u32>(idx) % cfg.tagWays);
+}
+
 Addr
-DoppelgangerCache::tagAddr(i32 idx) const
+RefDoppelgangerCache::tagAddr(i32 idx) const
 {
     const u32 set = static_cast<u32>(idx) / cfg.tagWays;
-    return tagSlicer.addr(set, tagDir.key(idx));
+    return tagSlicer.addr(set, tagAt(idx).tag);
 }
 
 i32
-DoppelgangerCache::findTag(Addr addr) const
+RefDoppelgangerCache::findTag(Addr addr) const
 {
     const u32 set = tagSlicer.set(addr);
-    const int way = tagDir.findWay(set, tagSlicer.tag(addr));
+    const int way = tags.findWay(set, tagSlicer.tag(addr));
     return way < 0 ? -1 : tagIndex(set, static_cast<u32>(way));
 }
 
 u32
-DoppelgangerCache::dataSetOfMap(u64 map) const
+RefDoppelgangerCache::dataSetOfMap(u64 map) const
 {
     if (!cfg.hashDataSetIndex) {
         // Paper-faithful indexing (Fig 4): the lower portion of the
         // map selects the set. (Generalized to modulo so fractional
         // data arrays — e.g. uniDoppelgänger's 3/4 — work; identical
         // to the low bits for power-of-two set counts.)
-        return static_cast<u32>(map % dataDir.sets());
+        return static_cast<u32>(map % data.sets());
     }
     // Hashed indexing (our default): a multiplicative mix spreads
     // structured data (e.g. grid coordinates) across all sets. Entry
@@ -71,68 +79,79 @@ DoppelgangerCache::dataSetOfMap(u64 map) const
     x ^= x >> 33;
     x *= 0xff51afd7ed558ccdULL;
     x ^= x >> 33;
-    return static_cast<u32>(x % dataDir.sets());
+    return static_cast<u32>(x % data.sets());
 }
 
 i32
-DoppelgangerCache::findDataByMap(u64 map) const
+RefDoppelgangerCache::findDataByMap(u64 map) const
 {
-    // Batched MTag probe: one pass over the set's contiguous key run,
-    // requiring "valid and not precise" via the flag byte.
     const u32 set = dataSetOfMap(map);
-    const int way = dataDir.findWayFlags(
-        set, map, SetAssocDir::kValid | DataPrecise,
-        SetAssocDir::kValid);
-    return way < 0 ? -1
-                   : static_cast<i32>(set * cfg.dataWays +
-                                      static_cast<u32>(way));
+    for (u32 w = 0; w < cfg.dataWays; ++w) {
+        const DataEntry &e = data.at(set, w);
+        if (e.valid && !e.precise && e.tag == map)
+            return static_cast<i32>(set * cfg.dataWays + w);
+    }
+    return -1;
+}
+
+RefDoppelgangerCache::DataEntry &
+RefDoppelgangerCache::dataAt(i32 idx)
+{
+    return data.at(static_cast<u32>(idx) / cfg.dataWays,
+                   static_cast<u32>(idx) % cfg.dataWays);
+}
+
+const RefDoppelgangerCache::DataEntry &
+RefDoppelgangerCache::dataAt(i32 idx) const
+{
+    return data.at(static_cast<u32>(idx) / cfg.dataWays,
+                   static_cast<u32>(idx) % cfg.dataWays);
 }
 
 i32
-DoppelgangerCache::dataIndexOfTag(i32 tag_idx) const
+RefDoppelgangerCache::dataIndexOfTag(const TagEntry &t) const
 {
-    DOPP_ASSERT(tagDir.valid(tag_idx));
-    if (tagDir.flag(tag_idx, TagPrecise))
-        return static_cast<i32>(tagMapV[static_cast<size_t>(tag_idx)]);
-    const i32 idx = findDataByMap(tagMapV[static_cast<size_t>(tag_idx)]);
+    DOPP_ASSERT(t.valid);
+    if (t.precise)
+        return static_cast<i32>(t.map);
+    const i32 idx = findDataByMap(t.map);
     if (idx < 0)
         panic("doppelganger invariant broken: tag's map %llu has no "
-              "data entry",
-              static_cast<unsigned long long>(
-                  tagMapV[static_cast<size_t>(tag_idx)]));
+              "data entry", static_cast<unsigned long long>(t.map));
     return idx;
 }
 
 void
-DoppelgangerCache::linkHead(i32 tag_idx, i32 data_idx)
+RefDoppelgangerCache::linkHead(i32 tag_idx, i32 data_idx)
 {
-    i32 &head = dataHeadV[static_cast<size_t>(data_idx)];
-    tagPrevV[static_cast<size_t>(tag_idx)] = -1;
-    tagNextV[static_cast<size_t>(tag_idx)] = head;
-    if (head >= 0)
-        tagPrevV[static_cast<size_t>(head)] = tag_idx;
-    head = tag_idx;
+    DataEntry &d = dataAt(data_idx);
+    TagEntry &t = tagAt(tag_idx);
+    t.prev = -1;
+    t.next = d.head;
+    if (d.head >= 0)
+        tagAt(d.head).prev = tag_idx;
+    d.head = tag_idx;
 }
 
 bool
-DoppelgangerCache::unlink(i32 tag_idx, i32 data_idx)
+RefDoppelgangerCache::unlink(i32 tag_idx, i32 data_idx)
 {
-    const i32 prev = tagPrevV[static_cast<size_t>(tag_idx)];
-    const i32 next = tagNextV[static_cast<size_t>(tag_idx)];
-    if (prev >= 0)
-        tagNextV[static_cast<size_t>(prev)] = next;
+    TagEntry &t = tagAt(tag_idx);
+    if (t.prev >= 0)
+        tagAt(t.prev).next = t.next;
     else
-        dataHeadV[static_cast<size_t>(data_idx)] = next;
-    if (next >= 0)
-        tagPrevV[static_cast<size_t>(next)] = prev;
-    tagPrevV[static_cast<size_t>(tag_idx)] = -1;
-    tagNextV[static_cast<size_t>(tag_idx)] = -1;
-    return dataHeadV[static_cast<size_t>(data_idx)] < 0;
+        dataAt(data_idx).head = t.next;
+    if (t.next >= 0)
+        tagAt(t.next).prev = t.prev;
+    t.prev = -1;
+    t.next = -1;
+    return dataAt(data_idx).head < 0;
 }
 
 void
-DoppelgangerCache::writebackTag(i32 tag_idx, i32 data_idx)
+RefDoppelgangerCache::writebackTag(i32 tag_idx, const DataEntry &entry)
 {
+    const TagEntry &t = tagAt(tag_idx);
     const Addr addr = tagAddr(tag_idx);
 
     // Inclusive LLC: drop private copies; a dirty private copy is the
@@ -142,55 +161,58 @@ DoppelgangerCache::writebackTag(i32 tag_idx, i32 data_idx)
     if (upwardDirty) {
         mem.writeBlock(addr, upward.data());
         ++ctr->dirtyWritebacks;
-    } else if (tagDir.flag(tag_idx, TagDirty)) {
+    } else if (t.dirty) {
         ++ctr->dataArray.reads;
-        mem.writeBlock(addr,
-                       blocks[static_cast<size_t>(data_idx)].data());
+        mem.writeBlock(addr, entry.data.data());
         ++ctr->dirtyWritebacks;
     }
 }
 
 void
-DoppelgangerCache::evictDataEntry(i32 data_idx)
+RefDoppelgangerCache::evictDataEntry(i32 data_idx)
 {
-    DOPP_ASSERT(dataDir.valid(data_idx));
+    DataEntry &d = dataAt(data_idx);
+    DOPP_ASSERT(d.valid);
 
     // Evict every tag associated with this block; each may require a
     // back-invalidation and a writeback (Sec 3.5).
     u64 count = 0;
-    i32 cur = dataHeadV[static_cast<size_t>(data_idx)];
+    i32 cur = d.head;
     while (cur >= 0) {
-        const i32 next = tagNextV[static_cast<size_t>(cur)];
-        writebackTag(cur, data_idx);
-        tagDir.setValid(cur, false);
-        tagPrevV[static_cast<size_t>(cur)] = -1;
-        tagNextV[static_cast<size_t>(cur)] = -1;
+        TagEntry &t = tagAt(cur);
+        const i32 next = t.next;
+        writebackTag(cur, d);
+        setTagValid(cur, false);
+        t.prev = -1;
+        t.next = -1;
         ++ctr->evictions;
         ++count;
         cur = next;
     }
-    dataHeadV[static_cast<size_t>(data_idx)] = -1;
-    dataDir.setValid(data_idx, false);
+    d.head = -1;
+    setDataValid(data_idx, false);
     ++ctr->dataEvictions;
     ctr->linkedTagsSum += count;
     ++ctr->linkedTagsSamples;
 }
 
 void
-DoppelgangerCache::evictTagEntry(i32 tag_idx)
+RefDoppelgangerCache::evictTagEntry(i32 tag_idx)
 {
-    DOPP_ASSERT(tagDir.valid(tag_idx));
+    TagEntry &t = tagAt(tag_idx);
+    DOPP_ASSERT(t.valid);
 
-    const i32 data_idx = dataIndexOfTag(tag_idx);
+    const i32 data_idx = dataIndexOfTag(t);
+    DataEntry &d = dataAt(data_idx);
 
-    writebackTag(tag_idx, data_idx);
+    writebackTag(tag_idx, d);
     const bool empty = unlink(tag_idx, data_idx);
-    tagDir.setValid(tag_idx, false);
+    setTagValid(tag_idx, false);
     ++ctr->evictions;
 
     if (empty) {
         // Sole tag: its data entry goes too (Sec 3.5).
-        dataDir.setValid(data_idx, false);
+        setDataValid(data_idx, false);
         ++ctr->dataEvictions;
         ctr->linkedTagsSum += 1;
         ++ctr->linkedTagsSamples;
@@ -198,24 +220,23 @@ DoppelgangerCache::evictTagEntry(i32 tag_idx)
 }
 
 u64
-DoppelgangerCache::linkedTagCount(i32 data_idx, u64 cap) const
+RefDoppelgangerCache::linkedTagCount(i32 data_idx, u64 cap) const
 {
     u64 n = 0;
-    for (i32 cur = dataHeadV[static_cast<size_t>(data_idx)];
-         cur >= 0 && n < cap;
-         cur = tagNextV[static_cast<size_t>(cur)]) {
+    for (i32 cur = dataAt(data_idx).head; cur >= 0 && n < cap;
+         cur = tagAt(cur).next) {
         ++n;
     }
     return n;
 }
 
 i32
-DoppelgangerCache::allocateDataEntry(u32 set)
+RefDoppelgangerCache::allocateDataEntry(u32 set)
 {
-    u32 way = dataDir.victimWay(set);
+    u32 way = data.victimWay(set);
     i32 idx = static_cast<i32>(set * cfg.dataWays + way);
 
-    if (cfg.tagCountAwareData && dataDir.valid(idx)) {
+    if (cfg.tagCountAwareData && dataAt(idx).valid) {
         // The set is full: prefer the way with the fewest linked tags
         // (cheapest eviction); the base policy's pick breaks ties.
         // Count up to the whole tag array: the stats-path saturation
@@ -232,31 +253,29 @@ DoppelgangerCache::allocateDataEntry(u32 set)
         }
     }
 
-    if (dataDir.valid(idx))
+    if (dataAt(idx).valid)
         evictDataEntry(idx);
     return idx;
 }
 
 void
-DoppelgangerCache::insertBlock(Addr addr, const u8 *bytes)
+RefDoppelgangerCache::insertBlock(Addr addr, const u8 *bytes)
 {
     // Allocate a tag entry (evicting the LRU tag if needed).
     const u32 tset = tagSlicer.set(addr);
-    const u64 l0 = prof ? hotpathNowNs() : 0;
-    const u32 tway = tagDir.victimWay(tset);
+    const u32 tway = tags.victimWay(tset);
     const i32 tidx = tagIndex(tset, tway);
-    if (tagDir.valid(tidx))
+    if (tagAt(tidx).valid)
         evictTagEntry(tidx);
 
-    tagDir.setValid(tidx, true);
-    tagDir.setKey(tidx, tagSlicer.tag(addr));
-    tagDir.setFlag(tidx, TagDirty, false);
-    tagPrevV[static_cast<size_t>(tidx)] = -1;
-    tagNextV[static_cast<size_t>(tidx)] = -1;
-    tagDir.touchInsert(tset, tway);
+    TagEntry &t = tagAt(tidx);
+    setTagValid(tidx, true);
+    t.tag = tagSlicer.tag(addr);
+    t.dirty = false;
+    t.prev = -1;
+    t.next = -1;
+    tags.touchInsert(tset, tway);
     ++ctr->tagArray.writes;
-    if (prof)
-        prof->listMaintNs += hotpathNowNs() - l0;
 
     const ApproxRegion *region = registry ? registry->find(addr) : nullptr;
     bool approx = cfg.unified ? region != nullptr : true;
@@ -271,100 +290,80 @@ DoppelgangerCache::insertBlock(Addr addr, const u8 *bytes)
     if (!approx) {
         // uniDoppelgänger precise path (Sec 3.8): an exclusive data
         // entry addressed by a direct pointer; no hash computation.
-        tagDir.setFlag(tidx, TagPrecise, true);
+        t.precise = true;
         const u32 dset = dataSetOfMap(addr >> blockOffsetBits);
         const i32 didx = allocateDataEntry(dset);
-        dataDir.setValid(didx, true);
-        dataDir.setFlag(didx, DataPrecise, true);
-        dataDir.setKey(didx, blockAlign(addr));
-        dataHeadV[static_cast<size_t>(didx)] = tidx;
-        std::memcpy(blocks[static_cast<size_t>(didx)].data(), bytes,
-                    blockBytes);
-        dataDir.touchInsert(dset, static_cast<u32>(didx) % cfg.dataWays);
-        tagMapV[static_cast<size_t>(tidx)] = static_cast<u64>(didx);
+        DataEntry &d = dataAt(didx);
+        setDataValid(didx, true);
+        d.precise = true;
+        d.tag = blockAlign(addr);
+        d.head = tidx;
+        std::memcpy(d.data.data(), bytes, blockBytes);
+        data.touchInsert(dset, static_cast<u32>(didx) % cfg.dataWays);
+        t.map = static_cast<u64>(didx);
         ++ctr->mtagArray.writes;
         ++ctr->dataArray.writes;
         observeClean();
         return;
     }
 
-    tagDir.setFlag(tidx, TagPrecise, false);
+    t.precise = false;
     const u64 map = mapFor(addr, bytes);
     ++ctr->mapGens;
     ++ctr->mtagArray.reads;
 
-    const u64 m0 = prof ? hotpathNowNs() : 0;
     const i32 existing = findDataByMap(map);
-    if (prof)
-        prof->mtagProbeNs += hotpathNowNs() - m0;
     if (existing >= 0) {
         // A similar block exists: share its entry, drop the fetched
         // data (Sec 3.3 "Similar Data Block Exists"). Future reads
         // serve the doppelgänger — report the substitution error.
-        const u64 l1 = prof ? hotpathNowNs() : 0;
         linkHead(tidx, existing);
-        tagMapV[static_cast<size_t>(tidx)] = map;
-        dataDir.touch(static_cast<u32>(existing) / cfg.dataWays,
-                      static_cast<u32>(existing) % cfg.dataWays);
-        if (prof)
-            prof->listMaintNs += hotpathNowNs() - l1;
-        observeSubstitution(addr, bytes, existing);
+        t.map = map;
+        data.touch(static_cast<u32>(existing) / cfg.dataWays,
+                   static_cast<u32>(existing) % cfg.dataWays);
+        observeSubstitution(addr, bytes, dataAt(existing));
         return;
     }
 
     // No similar block: allocate (evicting a victim and all its tags).
-    const u64 l1 = prof ? hotpathNowNs() : 0;
     const u32 dset = dataSetOfMap(map);
     const i32 didx = allocateDataEntry(dset);
-    dataDir.setValid(didx, true);
-    dataDir.setFlag(didx, DataPrecise, false);
-    dataDir.setKey(didx, map);
-    dataHeadV[static_cast<size_t>(didx)] = -1;
-    if (prof)
-        prof->listMaintNs += hotpathNowNs() - l1;
-    const u64 d0 = prof ? hotpathNowNs() : 0;
-    std::memcpy(blocks[static_cast<size_t>(didx)].data(), bytes,
-                blockBytes);
-    if (prof)
-        prof->dataArrayNs += hotpathNowNs() - d0;
-    dataDir.touchInsert(dset, static_cast<u32>(didx) % cfg.dataWays);
+    DataEntry &d = dataAt(didx);
+    setDataValid(didx, true);
+    d.precise = false;
+    d.tag = map;
+    d.head = -1;
+    std::memcpy(d.data.data(), bytes, blockBytes);
+    data.touchInsert(dset, static_cast<u32>(didx) % cfg.dataWays);
     linkHead(tidx, didx);
-    tagMapV[static_cast<size_t>(tidx)] = map;
+    t.map = map;
     ++ctr->mtagArray.writes;
     ++ctr->dataArray.writes;
     observeClean();
 }
 
 LastLevelCache::FetchResult
-DoppelgangerCache::fetch(Addr addr, u8 *out)
+RefDoppelgangerCache::fetch(Addr addr, u8 *out)
 {
     injectFaults();
     ++ctr->fetches;
     ++ctr->tagArray.reads;
 
-    const u64 t0 = prof ? hotpathNowNs() : 0;
     const i32 tidx = findTag(addr);
-    if (prof)
-        prof->tagProbeNs += hotpathNowNs() - t0;
     if (tidx >= 0) {
         ++ctr->fetchHits;
-        tagDir.touch(static_cast<u32>(tidx) / cfg.tagWays,
-                     static_cast<u32>(tidx) % cfg.tagWays);
+        TagEntry &t = tagAt(tidx);
+        tags.touch(static_cast<u32>(tidx) / cfg.tagWays,
+                   static_cast<u32>(tidx) % cfg.tagWays);
 
         // Second sequential lookup: the MTag array (Sec 3.2 step 2).
         ++ctr->mtagArray.reads;
-        const u64 m0 = prof ? hotpathNowNs() : 0;
-        const i32 didx = dataIndexOfTag(tidx);
-        if (prof)
-            prof->mtagProbeNs += hotpathNowNs() - m0;
+        const i32 didx = dataIndexOfTag(t);
+        DataEntry &d = dataAt(didx);
         ++ctr->dataArray.reads;
-        dataDir.touch(static_cast<u32>(didx) / cfg.dataWays,
-                      static_cast<u32>(didx) % cfg.dataWays);
-        const u64 d0 = prof ? hotpathNowNs() : 0;
-        std::memcpy(out, blocks[static_cast<size_t>(didx)].data(),
-                    blockBytes);
-        if (prof)
-            prof->dataArrayNs += hotpathNowNs() - d0;
+        data.touch(static_cast<u32>(didx) / cfg.dataWays,
+                   static_cast<u32>(didx) % cfg.dataWays);
+        std::memcpy(out, d.data.data(), blockBytes);
         observeClean();
         return {true, cfg.hitLatency};
     }
@@ -378,16 +377,13 @@ DoppelgangerCache::fetch(Addr addr, u8 *out)
 }
 
 void
-DoppelgangerCache::writeback(Addr addr, const u8 *bytes)
+RefDoppelgangerCache::writeback(Addr addr, const u8 *bytes)
 {
     injectFaults();
     ++ctr->writebacksIn;
     ++ctr->tagArray.reads;
 
-    const u64 t0 = prof ? hotpathNowNs() : 0;
     const i32 tidx = findTag(addr);
-    if (prof)
-        prof->tagProbeNs += hotpathNowNs() - t0;
     if (tidx < 0) {
         // Not resident (inclusion is maintained by the hierarchy, so
         // this only happens for orphan drains); go straight to memory.
@@ -397,18 +393,14 @@ DoppelgangerCache::writeback(Addr addr, const u8 *bytes)
         return;
     }
 
-    tagDir.touch(static_cast<u32>(tidx) / cfg.tagWays,
-                 static_cast<u32>(tidx) % cfg.tagWays);
+    TagEntry &t = tagAt(tidx);
+    tags.touch(static_cast<u32>(tidx) / cfg.tagWays,
+               static_cast<u32>(tidx) % cfg.tagWays);
 
-    if (tagDir.flag(tidx, TagPrecise)) {
-        const i32 didx =
-            static_cast<i32>(tagMapV[static_cast<size_t>(tidx)]);
-        const u64 d0 = prof ? hotpathNowNs() : 0;
-        std::memcpy(blocks[static_cast<size_t>(didx)].data(), bytes,
-                    blockBytes);
-        if (prof)
-            prof->dataArrayNs += hotpathNowNs() - d0;
-        tagDir.setFlag(tidx, TagDirty, true);
+    if (t.precise) {
+        DataEntry &d = dataAt(static_cast<i32>(t.map));
+        std::memcpy(d.data.data(), bytes, blockBytes);
+        t.dirty = true;
         ++ctr->dataArray.writes;
         observeClean();
         return;
@@ -418,93 +410,77 @@ DoppelgangerCache::writeback(Addr addr, const u8 *bytes)
     const u64 newMap = mapFor(addr, bytes);
     ++ctr->mapGens;
 
-    if (newMap == tagMapV[static_cast<size_t>(tidx)]) {
+    if (newMap == t.map) {
         // Silent or similarity-preserving store: dirty bit only; the
         // written values are dropped in favor of the shared entry.
-        tagDir.setFlag(tidx, TagDirty, true);
+        t.dirty = true;
         if (guardrail)
-            observeSubstitution(addr, bytes, dataIndexOfTag(tidx));
+            observeSubstitution(addr, bytes, dataAt(dataIndexOfTag(t)));
         return;
     }
 
     // The map changed: move this tag to the new map's list.
     ++ctr->mtagArray.reads;
-    const u64 m0 = prof ? hotpathNowNs() : 0;
-    const i32 oldIdx = dataIndexOfTag(tidx);
-    if (prof)
-        prof->mtagProbeNs += hotpathNowNs() - m0;
-    const u64 l0 = prof ? hotpathNowNs() : 0;
+    const i32 oldIdx = dataIndexOfTag(t);
     if (unlink(tidx, oldIdx)) {
         // This tag was the sole user; the entry's data is superseded
         // by this very write, so it is freed without a writeback.
-        dataDir.setValid(oldIdx, false);
+        setDataValid(oldIdx, false);
         ++ctr->dataEvictions;
     }
-    if (prof)
-        prof->listMaintNs += hotpathNowNs() - l0;
 
-    const u64 m1 = prof ? hotpathNowNs() : 0;
     const i32 existing = findDataByMap(newMap);
-    if (prof)
-        prof->mtagProbeNs += hotpathNowNs() - m1;
     if (existing >= 0) {
         // A block with the new map exists: the written values are
         // effectively ignored; this write made the block similar to
         // one already cached (Sec 3.4).
         linkHead(tidx, existing);
-        tagMapV[static_cast<size_t>(tidx)] = newMap;
-        tagDir.setFlag(tidx, TagDirty, true);
-        dataDir.touch(static_cast<u32>(existing) / cfg.dataWays,
-                      static_cast<u32>(existing) % cfg.dataWays);
-        observeSubstitution(addr, bytes, existing);
+        t.map = newMap;
+        t.dirty = true;
+        data.touch(static_cast<u32>(existing) / cfg.dataWays,
+                   static_cast<u32>(existing) % cfg.dataWays);
+        observeSubstitution(addr, bytes, dataAt(existing));
         return;
     }
 
-    const u64 l1 = prof ? hotpathNowNs() : 0;
     const u32 dset = dataSetOfMap(newMap);
     const i32 didx = allocateDataEntry(dset);
-    dataDir.setValid(didx, true);
-    dataDir.setFlag(didx, DataPrecise, false);
-    dataDir.setKey(didx, newMap);
-    dataHeadV[static_cast<size_t>(didx)] = -1;
-    if (prof)
-        prof->listMaintNs += hotpathNowNs() - l1;
-    const u64 d0 = prof ? hotpathNowNs() : 0;
-    std::memcpy(blocks[static_cast<size_t>(didx)].data(), bytes,
-                blockBytes);
-    if (prof)
-        prof->dataArrayNs += hotpathNowNs() - d0;
-    dataDir.touchInsert(dset, static_cast<u32>(didx) % cfg.dataWays);
+    DataEntry &d = dataAt(didx);
+    setDataValid(didx, true);
+    d.precise = false;
+    d.tag = newMap;
+    d.head = -1;
+    std::memcpy(d.data.data(), bytes, blockBytes);
+    data.touchInsert(dset, static_cast<u32>(didx) % cfg.dataWays);
     linkHead(tidx, didx);
-    tagMapV[static_cast<size_t>(tidx)] = newMap;
-    tagDir.setFlag(tidx, TagDirty, true);
+    t.map = newMap;
+    t.dirty = true;
     ++ctr->mtagArray.writes;
     ++ctr->dataArray.writes;
     observeClean();
 }
 
 bool
-DoppelgangerCache::contains(Addr addr) const
+RefDoppelgangerCache::contains(Addr addr) const
 {
     return findTag(addr) >= 0;
 }
 
-template <typename Visitor>
 void
-DoppelgangerCache::visitBlocks(Visitor &&visit) const
+RefDoppelgangerCache::forEachBlock(
+    const std::function<void(const LlcBlockInfo &)> &visit) const
 {
-    for (u32 s = 0; s < tagDir.sets(); ++s) {
+    for (u32 s = 0; s < tags.sets(); ++s) {
         for (u32 w = 0; w < cfg.tagWays; ++w) {
-            const i32 tidx = tagIndex(s, w);
-            if (!tagDir.valid(tidx))
+            const TagEntry &t = tags.at(s, w);
+            if (!t.valid)
                 continue;
+            const i32 tidx = tagIndex(s, w);
             LlcBlockInfo info;
             info.addr = tagAddr(tidx);
-            info.data =
-                blocks[static_cast<size_t>(dataIndexOfTag(tidx))]
-                    .data();
-            info.dirty = tagDir.flag(tidx, TagDirty);
-            info.approx = !tagDir.flag(tidx, TagPrecise);
+            info.data = dataAt(dataIndexOfTag(t)).data.data();
+            info.dirty = t.dirty;
+            info.approx = !t.precise;
             const ApproxRegion *region =
                 registry ? registry->find(info.addr) : nullptr;
             info.type = region ? region->type : cfg.defaultType;
@@ -514,61 +490,53 @@ DoppelgangerCache::visitBlocks(Visitor &&visit) const
 }
 
 void
-DoppelgangerCache::forEachBlock(
-    const std::function<void(const LlcBlockInfo &)> &visit) const
+RefDoppelgangerCache::flush()
 {
-    visitBlocks([&](const LlcBlockInfo &info) { visit(info); });
-}
-
-void
-DoppelgangerCache::flush()
-{
-    for (u32 s = 0; s < tagDir.sets(); ++s) {
+    for (u32 s = 0; s < tags.sets(); ++s) {
         for (u32 w = 0; w < cfg.tagWays; ++w) {
             const i32 tidx = tagIndex(s, w);
-            if (tagDir.valid(tidx))
+            if (tagAt(tidx).valid)
                 evictTagEntry(tidx);
         }
     }
-    tagDir.invalidateAll();
-    dataDir.invalidateAll();
+    tags.invalidateAll();
+    data.invalidateAll();
 }
 
 unsigned
-DoppelgangerCache::tagsSharingWith(Addr addr) const
+RefDoppelgangerCache::tagsSharingWith(Addr addr) const
 {
     const i32 tidx = findTag(addr);
     if (tidx < 0)
         return 0;
-    const i32 didx = dataIndexOfTag(tidx);
+    const i32 didx = dataIndexOfTag(tagAt(tidx));
     unsigned count = 0;
-    for (i32 cur = dataHeadV[static_cast<size_t>(didx)]; cur >= 0;
-         cur = tagNextV[static_cast<size_t>(cur)])
+    for (i32 cur = dataAt(didx).head; cur >= 0; cur = tagAt(cur).next)
         ++count;
     return count;
 }
 
 bool
-DoppelgangerCache::sameDataEntry(Addr a, Addr b) const
+RefDoppelgangerCache::sameDataEntry(Addr a, Addr b) const
 {
     const i32 ta = findTag(a);
     const i32 tb = findTag(b);
     if (ta < 0 || tb < 0)
         return false;
-    return dataIndexOfTag(ta) == dataIndexOfTag(tb);
+    return dataIndexOfTag(tagAt(ta)) == dataIndexOfTag(tagAt(tb));
 }
 
 const u8 *
-DoppelgangerCache::peekBlock(Addr addr) const
+RefDoppelgangerCache::peekBlock(Addr addr) const
 {
     const i32 tidx = findTag(addr);
     if (tidx < 0)
         return nullptr;
-    return blocks[static_cast<size_t>(dataIndexOfTag(tidx))].data();
+    return dataAt(dataIndexOfTag(tagAt(tidx))).data.data();
 }
 
 bool
-DoppelgangerCache::checkInvariants(std::string *why) const
+RefDoppelgangerCache::checkInvariants(std::string *why) const
 {
     auto fail = [&](const std::string &msg) {
         if (why)
@@ -577,31 +545,29 @@ DoppelgangerCache::checkInvariants(std::string *why) const
     };
 
     const u64 totalTags =
-        static_cast<u64>(tagDir.sets()) * cfg.tagWays;
+        static_cast<u64>(tags.sets()) * cfg.tagWays;
     const u64 totalData =
-        static_cast<u64>(dataDir.sets()) * cfg.dataWays;
+        static_cast<u64>(data.sets()) * cfg.dataWays;
 
     // Pass 1: every valid tag resolves; count tags per data entry.
     std::vector<u64> expected(totalData, 0);
     for (u64 i = 0; i < totalTags; ++i) {
-        const i32 tidx = static_cast<i32>(i);
-        if (!tagDir.valid(tidx))
+        const TagEntry &t = tagAt(static_cast<i32>(i));
+        if (!t.valid)
             continue;
-        const u64 map = tagMapV[i];
         i32 didx;
-        if (tagDir.flag(tidx, TagPrecise)) {
-            didx = static_cast<i32>(map);
+        if (t.precise) {
+            didx = static_cast<i32>(t.map);
             if (didx < 0 || static_cast<u64>(didx) >= totalData)
                 return fail("precise tag points out of range");
-            if (!dataDir.valid(didx) ||
-                !dataDir.flag(didx, DataPrecise))
+            if (!dataAt(didx).valid || !dataAt(didx).precise)
                 return fail("precise tag points at invalid entry");
-            if (tagPrevV[i] != -1 || tagNextV[i] != -1)
+            if (t.prev != -1 || t.next != -1)
                 return fail("precise tag has list links");
-            if (dataHeadV[static_cast<size_t>(didx)] != tidx)
+            if (dataAt(didx).head != static_cast<i32>(i))
                 return fail("precise entry head mismatch");
         } else {
-            didx = findDataByMap(map);
+            didx = findDataByMap(t.map);
             if (didx < 0)
                 return fail("tag's map has no data entry");
         }
@@ -610,78 +576,52 @@ DoppelgangerCache::checkInvariants(std::string *why) const
 
     // Pass 2: each data entry's list is consistent and complete.
     for (u64 d = 0; d < totalData; ++d) {
-        const i32 didx = static_cast<i32>(d);
-        if (!dataDir.valid(didx)) {
+        const DataEntry &e = dataAt(static_cast<i32>(d));
+        if (!e.valid) {
             if (expected[d] != 0)
                 return fail("tags point at an invalid data entry");
             continue;
         }
-        if (dataHeadV[d] < 0)
+        if (e.head < 0)
             return fail("valid data entry with empty tag list");
         u64 walked = 0;
         i32 prev = -1;
-        i32 cur = dataHeadV[d];
-        const bool precise = dataDir.flag(didx, DataPrecise);
+        i32 cur = e.head;
         while (cur >= 0) {
             // Corrupted pointers must be reported, never dereferenced.
             if (static_cast<u64>(cur) >= totalTags)
                 return fail("list pointer out of range");
-            if (!tagDir.valid(cur))
+            const TagEntry &t = tagAt(cur);
+            if (!t.valid)
                 return fail("list contains an invalid tag");
-            if (tagPrevV[static_cast<size_t>(cur)] != prev)
+            if (t.prev != prev)
                 return fail("prev pointer inconsistent");
-            if (!precise &&
-                findDataByMap(tagMapV[static_cast<size_t>(cur)]) !=
-                    didx) {
+            if (!e.precise &&
+                findDataByMap(t.map) != static_cast<i32>(d)) {
                 return fail("listed tag maps elsewhere");
             }
             prev = cur;
-            cur = tagNextV[static_cast<size_t>(cur)];
+            cur = t.next;
             if (++walked > totalTags)
                 return fail("tag list cycle");
         }
         if (walked != expected[d])
             return fail("list length disagrees with pointing tags");
     }
-
-    // SoA-specific passes (the reference keeps these properties inside
-    // one struct; here they span the directory and the field arenas).
-
-    // Pass 3: the directories' incremental valid counts agree with a
-    // recount of their flag bytes.
-    u64 tagsValid = 0;
-    for (u64 i = 0; i < totalTags; ++i)
-        tagsValid += tagDir.valid(static_cast<i32>(i)) ? 1 : 0;
-    if (tagsValid != tagDir.validCount())
-        return fail("tag directory valid count desynced");
-    u64 dataValid = 0;
-    for (u64 d = 0; d < totalData; ++d)
-        dataValid += dataDir.valid(static_cast<i32>(d)) ? 1 : 0;
-    if (dataValid != dataDir.validCount())
-        return fail("data directory valid count desynced");
-
-    // Pass 4: pool hygiene — free (invalid) slots must carry null
-    // links, so a later re-allocation can never inherit a stale index.
-    for (u64 i = 0; i < totalTags; ++i) {
-        if (tagDir.valid(static_cast<i32>(i)))
-            continue;
-        if (tagPrevV[i] != -1 || tagNextV[i] != -1)
-            return fail("free tag slot holds stale list links");
-    }
     return true;
 }
 
 std::optional<u64>
-DoppelgangerCache::mapOf(Addr addr) const
+RefDoppelgangerCache::mapOf(Addr addr) const
 {
     const i32 tidx = findTag(addr);
-    if (tidx < 0 || tagDir.flag(tidx, TagPrecise))
+    if (tidx < 0 || tagAt(tidx).precise)
         return std::nullopt;
-    return tagMapV[static_cast<size_t>(tidx)];
+    return tagAt(tidx).map;
 }
 
 void
-DoppelgangerCache::injectFaults()
+RefDoppelgangerCache::injectFaults()
 {
     if (!faults)
         return;
@@ -700,27 +640,25 @@ DoppelgangerCache::injectFaults()
 }
 
 void
-DoppelgangerCache::injectDataFault()
+RefDoppelgangerCache::injectDataFault()
 {
-    const u64 total = static_cast<u64>(dataDir.sets()) * cfg.dataWays;
+    const u64 total = static_cast<u64>(data.sets()) * cfg.dataWays;
     const u64 slot = faults->pick(total);
     const u32 bit = static_cast<u32>(faults->pick(blockBytes * 8));
-    const i32 didx = static_cast<i32>(slot);
+    DataEntry &d = dataAt(static_cast<i32>(slot));
     // An invalid pick lands in an unused cell; precise entries live in
     // the reliable (non-voltage-scaled) part of the array.
-    if (!dataDir.valid(didx) || dataDir.flag(didx, DataPrecise))
+    if (!d.valid || d.precise)
         return;
 
     // The flip is served to every tag sharing this entry; quantify it
     // with the head tag's region parameters.
-    const i32 head = dataHeadV[slot];
     const MapParams p =
-        head >= 0 ? paramsFor(tagAddr(head)) : paramsFor(0);
-    BlockData &block = blocks[slot];
+        d.head >= 0 ? paramsFor(tagAddr(d.head)) : paramsFor(0);
     const unsigned elem = bit / elemBits(p.type);
-    const double before = blockElement(block.data(), p.type, elem);
-    block[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
-    const double after = blockElement(block.data(), p.type, elem);
+    const double before = blockElement(d.data.data(), p.type, elem);
+    d.data[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+    const double after = blockElement(d.data.data(), p.type, elem);
 
     faults->record(FaultDomain::LlcData, slot, 0, bit);
     ++ctr->faultsInjected;
@@ -739,31 +677,31 @@ DoppelgangerCache::injectDataFault()
 }
 
 bool
-DoppelgangerCache::injectTagMetaFault()
+RefDoppelgangerCache::injectTagMetaFault()
 {
-    const u64 totalTags = static_cast<u64>(tagDir.sets()) * cfg.tagWays;
-    const u64 totalData =
-        static_cast<u64>(dataDir.sets()) * cfg.dataWays;
+    const u64 totalTags = static_cast<u64>(tags.sets()) * cfg.tagWays;
+    const u64 totalData = static_cast<u64>(data.sets()) * cfg.dataWays;
     const i32 idx = static_cast<i32>(faults->pick(totalTags));
     // Fields: 0 = map value, 1 = prev, 2 = next, 3 = dirty bit,
     // 4 = precise bit (unified mode only).
     const u32 field =
         static_cast<u32>(faults->pick(cfg.unified ? 5 : 4));
-    if (!tagDir.valid(idx))
+    TagEntry &t = tagAt(idx);
+    if (!t.valid)
         return false; // flip in a dead cell: unobservable
 
     switch (field) {
       case 0: {
         // Map value — or the direct data-entry pointer when precise.
         unsigned width;
-        if (tagDir.flag(idx, TagPrecise))
+        if (t.precise)
             width = ceilLog2(std::max<u64>(totalData, 2)) + 1;
         else if (hasMapOverride)
             width = 64; // content-hash override stores full 64-bit maps
         else
             width = mapWidth(paramsFor(tagAddr(idx)), cfg.hashMode);
         const u32 bit = static_cast<u32>(faults->pick(width));
-        tagMapV[static_cast<size_t>(idx)] ^= 1ULL << bit;
+        t.map ^= 1ULL << bit;
         faults->record(FaultDomain::TagMeta, static_cast<u64>(idx),
                        field, bit);
         ++ctr->faultsInjected;
@@ -772,14 +710,11 @@ DoppelgangerCache::injectTagMetaFault()
       case 1:
       case 2: {
         // List pointer: flip within the stored index width plus one
-        // spare bit, so null (-1) can corrupt into garbage too. The
-        // pointers are arena indices now; the flip targets the arena
-        // slot directly.
+        // spare bit, so null (-1) can corrupt into garbage too.
         const unsigned width =
             ceilLog2(std::max<u64>(totalTags, 2)) + 1;
         const u32 bit = static_cast<u32>(faults->pick(width));
-        i32 &ptr = field == 1 ? tagPrevV[static_cast<size_t>(idx)]
-                              : tagNextV[static_cast<size_t>(idx)];
+        i32 &ptr = field == 1 ? t.prev : t.next;
         ptr = static_cast<i32>(static_cast<u32>(ptr) ^ (1u << bit));
         faults->record(FaultDomain::TagMeta, static_cast<u64>(idx),
                        field, bit);
@@ -789,14 +724,13 @@ DoppelgangerCache::injectTagMetaFault()
       case 3:
         // Dirty bit: undetectable by structural checks. A spurious set
         // costs one extra writeback; a cleared one loses an update.
-        tagDir.setFlag(idx, TagDirty, !tagDir.flag(idx, TagDirty));
+        t.dirty = !t.dirty;
         faults->record(FaultDomain::TagMeta, static_cast<u64>(idx),
                        field, 0);
         ++ctr->faultsInjected;
         return false;
       default:
-        tagDir.setFlag(idx, TagPrecise,
-                       !tagDir.flag(idx, TagPrecise));
+        t.precise = !t.precise;
         faults->record(FaultDomain::TagMeta, static_cast<u64>(idx),
                        field, 0);
         ++ctr->faultsInjected;
@@ -805,33 +739,33 @@ DoppelgangerCache::injectTagMetaFault()
 }
 
 bool
-DoppelgangerCache::injectMTagMetaFault()
+RefDoppelgangerCache::injectMTagMetaFault()
 {
-    const u64 totalTags = static_cast<u64>(tagDir.sets()) * cfg.tagWays;
-    const u64 totalData =
-        static_cast<u64>(dataDir.sets()) * cfg.dataWays;
+    const u64 totalTags = static_cast<u64>(tags.sets()) * cfg.tagWays;
+    const u64 totalData = static_cast<u64>(data.sets()) * cfg.dataWays;
     const i32 idx = static_cast<i32>(faults->pick(totalData));
     // Fields: 0 = map tag, 1 = head pointer, 2 = precise bit (unified).
     const u32 field =
         static_cast<u32>(faults->pick(cfg.unified ? 3 : 2));
-    if (!dataDir.valid(idx))
+    DataEntry &d = dataAt(idx);
+    if (!d.valid)
         return false;
 
     switch (field) {
       case 0: {
         // Stored map tag (the block address for precise entries).
-        const i32 head = dataHeadV[static_cast<size_t>(idx)];
         unsigned width;
-        if (dataDir.flag(idx, DataPrecise))
+        if (d.precise)
             width = 32; // block-address tag
         else if (hasMapOverride)
             width = 64;
-        else if (head >= 0 && static_cast<u64>(head) < totalTags)
-            width = mapWidth(paramsFor(tagAddr(head)), cfg.hashMode);
+        else if (d.head >= 0 &&
+                 static_cast<u64>(d.head) < totalTags)
+            width = mapWidth(paramsFor(tagAddr(d.head)), cfg.hashMode);
         else
             width = cfg.mapBits;
         const u32 bit = static_cast<u32>(faults->pick(width));
-        dataDir.setKey(idx, dataDir.key(idx) ^ (1ULL << bit));
+        d.tag ^= 1ULL << bit;
         faults->record(FaultDomain::MTagMeta, static_cast<u64>(idx),
                        field, bit);
         ++ctr->faultsInjected;
@@ -841,16 +775,15 @@ DoppelgangerCache::injectMTagMetaFault()
         const unsigned width =
             ceilLog2(std::max<u64>(totalTags, 2)) + 1;
         const u32 bit = static_cast<u32>(faults->pick(width));
-        i32 &head = dataHeadV[static_cast<size_t>(idx)];
-        head = static_cast<i32>(static_cast<u32>(head) ^ (1u << bit));
+        d.head =
+            static_cast<i32>(static_cast<u32>(d.head) ^ (1u << bit));
         faults->record(FaultDomain::MTagMeta, static_cast<u64>(idx),
                        field, bit);
         ++ctr->faultsInjected;
         return true;
       }
       default:
-        dataDir.setFlag(idx, DataPrecise,
-                        !dataDir.flag(idx, DataPrecise));
+        d.precise = !d.precise;
         faults->record(FaultDomain::MTagMeta, static_cast<u64>(idx),
                        field, 0);
         ++ctr->faultsInjected;
@@ -859,7 +792,7 @@ DoppelgangerCache::injectMTagMetaFault()
 }
 
 bool
-DoppelgangerCache::selfCheckAndRepair()
+RefDoppelgangerCache::selfCheckAndRepair()
 {
     std::string why;
     if (checkInvariants(&why))
@@ -885,19 +818,19 @@ DoppelgangerCache::selfCheckAndRepair()
 }
 
 std::pair<u64, u64>
-DoppelgangerCache::repairMetadata()
+RefDoppelgangerCache::repairMetadata()
 {
-    const u64 totalTags = static_cast<u64>(tagDir.sets()) * cfg.tagWays;
-    const u64 totalData =
-        static_cast<u64>(dataDir.sets()) * cfg.dataWays;
+    const u64 totalTags = static_cast<u64>(tags.sets()) * cfg.tagWays;
+    const u64 totalData = static_cast<u64>(data.sets()) * cfg.dataWays;
     u64 tagsDropped = 0;
     u64 entriesDropped = 0;
 
     // Phase 1: forget every list. The surviving per-tag metadata (map
     // values, valid bits) is the ground truth lists are rebuilt from.
     for (u64 i = 0; i < totalData; ++i) {
-        if (dataDir.valid(static_cast<i32>(i)))
-            dataHeadV[i] = -1;
+        DataEntry &d = dataAt(static_cast<i32>(i));
+        if (d.valid)
+            d.head = -1;
     }
 
     // Phase 2: relink every valid tag from its own map field. A tag
@@ -907,28 +840,28 @@ DoppelgangerCache::repairMetadata()
     // back-invalidation either way).
     for (u64 i = 0; i < totalTags; ++i) {
         const i32 tidx = static_cast<i32>(i);
-        if (!tagDir.valid(tidx))
+        TagEntry &t = tagAt(tidx);
+        if (!t.valid)
             continue;
         bool resolved;
-        if (tagDir.flag(tidx, TagPrecise)) {
-            const i32 didx = static_cast<i32>(tagMapV[i]);
+        if (t.precise) {
+            const i32 didx = static_cast<i32>(t.map);
             resolved =
                 didx >= 0 && static_cast<u64>(didx) < totalData;
             if (resolved) {
+                DataEntry &d = dataAt(didx);
                 // Only the rightful, exclusive owner may reclaim a
                 // precise entry.
-                resolved = dataDir.valid(didx) &&
-                    dataDir.flag(didx, DataPrecise) &&
-                    dataHeadV[static_cast<size_t>(didx)] < 0 &&
-                    dataDir.key(didx) == blockAlign(tagAddr(tidx));
+                resolved = d.valid && d.precise && d.head < 0 &&
+                    d.tag == blockAlign(tagAddr(tidx));
                 if (resolved) {
-                    dataHeadV[static_cast<size_t>(didx)] = tidx;
-                    tagPrevV[i] = -1;
-                    tagNextV[i] = -1;
+                    d.head = tidx;
+                    t.prev = -1;
+                    t.next = -1;
                 }
             }
         } else {
-            const i32 didx = findDataByMap(tagMapV[i]);
+            const i32 didx = findDataByMap(t.map);
             resolved = didx >= 0;
             if (resolved)
                 linkHead(tidx, didx);
@@ -939,17 +872,18 @@ DoppelgangerCache::repairMetadata()
                 mem.writeBlock(tagAddr(tidx), upward.data());
                 ++ctr->dirtyWritebacks;
             }
-            tagDir.setValid(tidx, false);
-            tagPrevV[i] = -1;
-            tagNextV[i] = -1;
+            setTagValid(tidx, false);
+            t.prev = -1;
+            t.next = -1;
             ++tagsDropped;
         }
     }
 
     // Phase 3: free the entries no surviving tag claims.
     for (u64 i = 0; i < totalData; ++i) {
-        if (dataDir.valid(static_cast<i32>(i)) && dataHeadV[i] < 0) {
-            dataDir.setValid(static_cast<i32>(i), false);
+        DataEntry &d = dataAt(static_cast<i32>(i));
+        if (d.valid && d.head < 0) {
+            setDataValid(static_cast<i32>(i), false);
             ++entriesDropped;
         }
     }
@@ -957,19 +891,18 @@ DoppelgangerCache::repairMetadata()
 }
 
 void
-DoppelgangerCache::observeSubstitution(Addr addr, const u8 *exact,
-                                       i32 data_idx)
+RefDoppelgangerCache::observeSubstitution(Addr addr, const u8 *exact,
+                                       const DataEntry &d)
 {
     if (!guardrail)
         return;
     const MapParams p = paramsFor(addr);
     guardrail->observeError(blockSubstitutionError(
-        blocks[static_cast<size_t>(data_idx)].data(), exact, p.type,
-        p.maxValue - p.minValue));
+        d.data.data(), exact, p.type, p.maxValue - p.minValue));
 }
 
 void
-DoppelgangerCache::observeClean()
+RefDoppelgangerCache::observeClean()
 {
     if (guardrail)
         guardrail->observeClean();

@@ -27,9 +27,9 @@ SplitLlc::SplitLlc(MainMemory &memory, const SplitLlcConfig &config,
           config.preciseLatency, &registry, ReplPolicy::LRU,
           &statRegistry(),
           statGroupPath() + ".precise")),
-      doppHalf(std::make_unique<DoppelgangerCache>(
-          memory, config.dopp, &registry, &statRegistry(),
-          statGroupPath() + ".dopp")),
+      doppHalf(makeDoppEngine(memory, config.dopp, &registry,
+                              &statRegistry(),
+                              statGroupPath() + ".dopp")),
       degradedFillsCtr(statGroup().group("route").counter(
           "degradedFills",
           "approximate fills routed precise while degraded"))
@@ -110,6 +110,16 @@ SplitLlc::setFaultInjector(FaultInjector *fi)
     // llcStats never counts injections, so the aggregate counts each
     // fault exactly once (in the Doppelgänger half).
     doppHalf->setFaultInjector(fi);
+}
+
+void
+SplitLlc::setHotPathProfile(HotPathProfile *p)
+{
+    // Both halves accumulate into one profile: a split approximate
+    // access pays the precise-half probe (containment check) plus the
+    // Doppelgänger path, and the breakdown should show both.
+    preciseHalf->setHotPathProfile(p);
+    doppHalf->setHotPathProfile(p);
 }
 
 void

@@ -12,7 +12,7 @@
 
 #include <memory>
 
-#include "core/doppelganger_cache.hh"
+#include "core/dopp_engine.hh"
 #include "sim/llc.hh"
 
 namespace dopp
@@ -60,22 +60,24 @@ class SplitLlc : public LastLevelCache
     void setBackInvalidate(BackInvalidateFn fn) override;
     void setFaultInjector(FaultInjector *fi) override;
     void setGuardrail(QorGuardrail *g) override;
+    void setHotPathProfile(HotPathProfile *p) override;
     const LlcStats &stats() const override;
     void resetStats() override;
 
     /** The precise half, for per-structure energy accounting. */
     const ConventionalLlc &precise() const { return *preciseHalf; }
 
-    /** The Doppelgänger half. */
-    const DoppelgangerCache &doppelganger() const { return *doppHalf; }
+    /** The Doppelgänger half (optimized or reference engine, per
+     * DoppConfig::referenceImpl). */
+    const DoppEngine &doppelganger() const { return *doppHalf; }
 
     /** Non-const access for tests. */
-    DoppelgangerCache &doppelganger() { return *doppHalf; }
+    DoppEngine &doppelganger() { return *doppHalf; }
 
   private:
     const ApproxRegistry &registry;
     std::unique_ptr<ConventionalLlc> preciseHalf;
-    std::unique_ptr<DoppelgangerCache> doppHalf;
+    std::unique_ptr<DoppEngine> doppHalf;
     Counter &degradedFillsCtr; ///< fills routed precise while degraded
     mutable LlcStats combined;
 };

@@ -63,6 +63,11 @@ doppConfigFor(const RunConfig &cfg, bool unified)
     d.tagCountAwareData = cfg.tagCountAwareData;
     d.hitLatency = cfg.llcLatency;
     d.unified = unified;
+    // Engine selection: per-run switch, or DOPP_REFERENCE_IMPL=1 to
+    // flip a whole process (ci.sh uses it to diff bench output between
+    // the reference and optimized engines without a rebuild).
+    d.referenceImpl =
+        cfg.doppReference || envFlag("DOPP_REFERENCE_IMPL", false);
     return d;
 }
 
@@ -248,7 +253,7 @@ runWorkload(const std::string &workload_name, const RunConfig &cfg)
         rt.setAbortPollInterval(cfg.abortPollAccesses);
 
     // Run-level derived stats, computed at snapshot time.
-    const DoppelgangerCache *doppView = built.dopp;
+    const DoppEngine *doppView = built.dopp;
     StatGroup runGroup = statReg.group("run");
     runGroup.counterFn(
         "runtimeCycles", [&rt] { return rt.runtime(); },

@@ -74,6 +74,18 @@ struct RunConfig
     /** Tag-count-aware data victim selection (Sec 3.5 future work). */
     bool tagCountAwareData = false;
 
+    /**
+     * Build Doppelgänger engines as the reference (array-of-structs)
+     * implementation instead of the optimized structure-of-arrays one
+     * (see dopp_engine.hh). Results are bit-identical by contract —
+     * the differential suite enforces it — so, like the observation
+     * hooks below, this switch is excluded from the journal config
+     * fingerprint (harness/journal.hh): it must never make two
+     * otherwise-equal runs look different. The factory builders also
+     * honor DOPP_REFERENCE_IMPL=1 from the environment.
+     */
+    bool doppReference = false;
+
     /** Workload sizing/seed. */
     WorkloadConfig workload;
 

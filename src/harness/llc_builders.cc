@@ -59,8 +59,8 @@ buildUniDopp(MainMemory &memory, const ApproxRegistry &registry,
 {
     LlcBuilt built;
     built.doppConfig = uniDoppConfig(cfg);
-    auto ptr = std::make_unique<DoppelgangerCache>(
-        memory, built.doppConfig, &registry, &stats, "llc.dopp");
+    auto ptr = makeDoppEngine(memory, built.doppConfig, &registry,
+                              &stats, "llc.dopp");
     built.dopp = ptr.get();
     registerLlcStatsView(stats.group("llc"),
                          [llc = ptr.get()] { return llc->stats(); });
@@ -97,6 +97,9 @@ buildDedup(MainMemory &memory, const ApproxRegistry &,
         static_cast<double>(dc.tagEntries) * cfg.dataFraction);
     dc.dataWays = cfg.llcWays;
     dc.hitLatency = cfg.llcLatency;
+    // Same engine-selection rule as the Doppelgänger organizations so
+    // the differential suite can flip all five builders at once.
+    dc.referenceImpl = splitDoppConfig(cfg).referenceImpl;
 
     LlcBuilt built;
     auto ptr = std::make_unique<DedupLlc>(memory, dc, &stats, "llc");

@@ -16,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "core/doppelganger_cache.hh"
+#include "core/dopp_engine.hh"
 #include "core/split_llc.hh"
 #include "sim/llc.hh"
 #include "sim/memory.hh"
@@ -36,7 +36,7 @@ struct LlcBuilt
     const SplitLlc *split = nullptr;
 
     /** Set when a Doppelgänger engine is reachable (occupancy). */
-    const DoppelgangerCache *dopp = nullptr;
+    const DoppEngine *dopp = nullptr;
 
     /** Geometry actually used, for the energy model; defaulted for
      * organizations without a Doppelgänger engine. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 
@@ -9,6 +10,15 @@
 
 namespace dopp
 {
+
+u64
+hotpathNowNs()
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
 
 namespace
 {
@@ -208,17 +218,18 @@ ConventionalLlc::ConventionalLlc(MainMemory &memory, u64 size_bytes,
     if (size_bytes % (static_cast<u64>(num_ways) * blockBytes) != 0)
         fatal("LLC size %llu not divisible by ways*blockBytes",
               static_cast<unsigned long long>(size_bytes));
+    blocks.resize(static_cast<size_t>(array.sets()) * array.ways());
     initLlcCounters();
 }
 
 void
 ConventionalLlc::evictLine(u32 set, u32 way)
 {
-    Line &line = array.at(set, way);
-    if (!line.valid)
+    const i32 idx = array.index(set, way);
+    if (!array.valid(idx))
         return;
 
-    const Addr addr = slicer.addr(set, line.tag);
+    const Addr addr = slicer.addr(set, array.key(idx));
     ++ctr->evictions;
 
     // Inclusive LLC: invalidate private copies; a dirty private copy
@@ -228,12 +239,13 @@ ConventionalLlc::evictLine(u32 set, u32 way)
     if (upwardDirty) {
         mem.writeBlock(addr, upward.data());
         ++ctr->dirtyWritebacks;
-    } else if (line.dirty) {
+    } else if (array.flag(idx, LineDirty)) {
         ++ctr->dataArray.reads;
-        mem.writeBlock(addr, line.data.data());
+        mem.writeBlock(addr,
+                       blocks[static_cast<size_t>(idx)].data());
         ++ctr->dirtyWritebacks;
     }
-    array.setValid(set, way, false);
+    array.setValid(idx, false);
 }
 
 void
@@ -253,22 +265,22 @@ ConventionalLlc::maybeInjectFault()
         static_cast<u64>(array.sets()) * array.ways();
     const u64 slot = faults->pick(total);
     const u32 bit = static_cast<u32>(faults->pick(blockBytes * 8));
-    Line &line = array.at(static_cast<u32>(slot) / array.ways(),
-                          static_cast<u32>(slot) % array.ways());
-    if (!line.valid)
+    const i32 idx = static_cast<i32>(slot);
+    if (!array.valid(idx))
         return;
     const Addr addr = slicer.addr(static_cast<u32>(slot) / array.ways(),
-                                  line.tag);
+                                  array.key(idx));
     const ApproxRegion *region = registry ? registry->find(addr) : nullptr;
     if (!region)
         return;
 
+    BlockData &block = blocks[static_cast<size_t>(idx)];
     const unsigned elem = bit / elemBits(region->type);
     const double before =
-        blockElement(line.data.data(), region->type, elem);
-    line.data[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+        blockElement(block.data(), region->type, elem);
+    block[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
     const double after =
-        blockElement(line.data.data(), region->type, elem);
+        blockElement(block.data(), region->type, elem);
 
     faults->record(FaultDomain::LlcData, slot, 0, bit);
     ++ctr->faultsInjected;
@@ -291,13 +303,20 @@ ConventionalLlc::fetch(Addr addr, u8 *data)
     const u32 set = slicer.set(addr);
     const u64 tag = slicer.tag(addr);
 
+    const u64 t0 = prof ? hotpathNowNs() : 0;
     const int way = array.findWay(set, tag);
+    if (prof)
+        prof->tagProbeNs += hotpathNowNs() - t0;
     if (way >= 0) {
+        const i32 idx = array.index(set, static_cast<u32>(way));
         ++ctr->fetchHits;
         ++ctr->dataArray.reads;
         array.touch(set, static_cast<u32>(way));
-        std::memcpy(data, array.at(set, static_cast<u32>(way)).data.data(),
+        const u64 d0 = prof ? hotpathNowNs() : 0;
+        std::memcpy(data, blocks[static_cast<size_t>(idx)].data(),
                     blockBytes);
+        if (prof)
+            prof->dataArrayNs += hotpathNowNs() - d0;
         return {true, hitLatency};
     }
 
@@ -306,16 +325,20 @@ ConventionalLlc::fetch(Addr addr, u8 *data)
     const u32 victim = array.victimWay(set);
     evictLine(set, victim);
 
-    Line &line = array.at(set, victim);
-    const Tick memLat = mem.readBlock(addr, line.data.data());
-    array.setValid(set, victim, true);
-    line.tag = tag;
-    line.dirty = false;
+    const i32 idx = array.index(set, victim);
+    BlockData &block = blocks[static_cast<size_t>(idx)];
+    const Tick memLat = mem.readBlock(addr, block.data());
+    array.setValid(idx, true);
+    array.setKey(idx, tag);
+    array.setFlag(idx, LineDirty, false);
     array.touchInsert(set, victim);
     ++ctr->tagArray.writes;
     ++ctr->dataArray.writes;
 
-    std::memcpy(data, line.data.data(), blockBytes);
+    const u64 d0 = prof ? hotpathNowNs() : 0;
+    std::memcpy(data, block.data(), blockBytes);
+    if (prof)
+        prof->dataArrayNs += hotpathNowNs() - d0;
     return {false, hitLatency + memLat};
 }
 
@@ -329,11 +352,18 @@ ConventionalLlc::writeback(Addr addr, const u8 *data)
     const u32 set = slicer.set(addr);
     const u64 tag = slicer.tag(addr);
 
+    const u64 t0 = prof ? hotpathNowNs() : 0;
     const int way = array.findWay(set, tag);
+    if (prof)
+        prof->tagProbeNs += hotpathNowNs() - t0;
     if (way >= 0) {
-        Line &line = array.at(set, static_cast<u32>(way));
-        std::memcpy(line.data.data(), data, blockBytes);
-        line.dirty = true;
+        const i32 idx = array.index(set, static_cast<u32>(way));
+        const u64 d0 = prof ? hotpathNowNs() : 0;
+        std::memcpy(blocks[static_cast<size_t>(idx)].data(), data,
+                    blockBytes);
+        if (prof)
+            prof->dataArrayNs += hotpathNowNs() - d0;
+        array.setFlag(idx, LineDirty, true);
         array.touch(set, static_cast<u32>(way));
         ++ctr->dataArray.writes;
         return;
@@ -357,13 +387,14 @@ ConventionalLlc::forEachBlock(
 {
     for (u32 s = 0; s < array.sets(); ++s) {
         for (u32 w = 0; w < array.ways(); ++w) {
-            const Line &line = array.at(s, w);
-            if (!line.valid)
+            const i32 idx =
+                static_cast<i32>(s * array.ways() + w);
+            if (!array.valid(idx))
                 continue;
             LlcBlockInfo info;
-            info.addr = slicer.addr(s, line.tag);
-            info.data = line.data.data();
-            info.dirty = line.dirty;
+            info.addr = slicer.addr(s, array.key(idx));
+            info.data = blocks[static_cast<size_t>(idx)].data();
+            info.dirty = array.flag(idx, LineDirty);
             const ApproxRegion *region =
                 registry ? registry->find(info.addr) : nullptr;
             info.approx = region != nullptr;

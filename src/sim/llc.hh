@@ -183,6 +183,26 @@ void registerLlcStatsView(StatGroup group,
 void registerLlcFormulas(StatGroup group,
                          std::function<LlcStats()> view);
 
+/**
+ * Per-phase wall-clock breakdown of the LLC access path, accumulated
+ * by organizations that support setHotPathProfile(). All figures are
+ * nanoseconds of *simulator* time — they attribute where the model
+ * itself spends its cycles (bench_perf's per-phase columns), not
+ * modeled hardware latency. Instrumentation is only active while a
+ * profile is attached; throughput runs detach it so the timing calls
+ * cost one predicted-not-taken branch.
+ */
+struct HotPathProfile
+{
+    u64 tagProbeNs = 0;  ///< address-tag set probes
+    u64 mtagProbeNs = 0; ///< MTag (map-indexed) set probes
+    u64 listMaintNs = 0; ///< tag-list link/unlink, allocation, evicts
+    u64 dataArrayNs = 0; ///< 64 B block copies
+};
+
+/** Monotonic nanosecond timestamp for HotPathProfile spans. */
+u64 hotpathNowNs();
+
 /** Snapshot of one logical block resident in the LLC. */
 struct LlcBlockInfo
 {
@@ -277,6 +297,13 @@ class LastLevelCache
      * nullptr (the default) disables the guardrail. Not owned.
      */
     virtual void setGuardrail(QorGuardrail *g) { guardrail = g; }
+
+    /**
+     * Attach a per-phase timing sink (see HotPathProfile). Default:
+     * ignored — organizations without phase instrumentation simply
+     * leave the profile untouched. nullptr detaches. Not owned.
+     */
+    virtual void setHotPathProfile(HotPathProfile *) {}
 
     /**
      * Accumulated statistics, as the LlcStats compatibility view of
@@ -380,18 +407,15 @@ class ConventionalLlc : public LastLevelCache
     void flush() override;
     const char *name() const override { return "conventional"; }
 
+    void setHotPathProfile(HotPathProfile *p) override { prof = p; }
+
     /** Number of block entries. */
     u64 entries() const { return static_cast<u64>(array.sets()) *
         array.ways(); }
 
   private:
-    struct Line
-    {
-        bool valid = false;
-        u64 tag = 0;
-        bool dirty = false;
-        BlockData data = {};
-    };
+    /** Client flag bit of the directory's per-way flag byte. */
+    static constexpr u8 LineDirty = 2;
 
     /** Evict the line at (set, way), honoring inclusion and dirtiness. */
     void evictLine(u32 set, u32 way);
@@ -404,10 +428,18 @@ class ConventionalLlc : public LastLevelCache
      */
     void maybeInjectFault();
 
-    SetAssocArray<Line> array;
+    /**
+     * SoA tag directory plus a separate block arena: probes — the
+     * dominant cost of the split organization's precise-half checks on
+     * every approximate access — scan a contiguous key run instead of
+     * striding over 80-byte line structs.
+     */
+    SetAssocDir array;
+    std::vector<BlockData> blocks;
     AddrSlicer slicer;
     Tick hitLatency;
     const ApproxRegistry *registry;
+    HotPathProfile *prof = nullptr;
 };
 
 } // namespace dopp

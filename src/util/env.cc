@@ -41,4 +41,20 @@ envDouble(const char *name, double fallback)
     return parsed;
 }
 
+bool
+envFlag(const char *name, bool fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return fallback;
+    if (v[0] != '\0' && v[1] == '\0') {
+        if (v[0] == '0')
+            return false;
+        if (v[0] == '1')
+            return true;
+    }
+    fatal("%s='%s' is not a boolean flag (use 0 or 1)", name, v);
+    return fallback;
+}
+
 } // namespace dopp

@@ -30,6 +30,13 @@ u64 envU64(const char *name, u64 fallback);
  */
 double envDouble(const char *name, double fallback);
 
+/**
+ * Read @p name as a boolean flag. Unset: @p fallback. Set: must be
+ * exactly "0" or "1" (a sweep exporting FLAG=yes or FLAG= should die,
+ * not silently pick a default), otherwise fatal.
+ */
+bool envFlag(const char *name, bool fallback);
+
 } // namespace dopp
 
 #endif // DOPP_UTIL_ENV_HH

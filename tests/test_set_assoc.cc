@@ -204,4 +204,143 @@ TEST(ReplPolicy, Names)
     EXPECT_STREQ(replPolicyName(ReplPolicy::RANDOM), "random");
 }
 
+// ---------------------------------------------------------------------
+// SetAssocDir: the structure-of-arrays directory behind the optimized
+// Doppelgänger hot path. Must make the exact same replacement
+// decisions as SetAssocArray for any touch sequence.
+// ---------------------------------------------------------------------
+
+TEST(SetAssocDir, GeometryAndIndexing)
+{
+    SetAssocDir dir(16, 4);
+    EXPECT_EQ(dir.sets(), 16u);
+    EXPECT_EQ(dir.ways(), 4u);
+    EXPECT_EQ(dir.index(0, 0), 0);
+    EXPECT_EQ(dir.index(1, 0), 4);
+    EXPECT_EQ(dir.index(15, 3), 63);
+    EXPECT_EQ(dir.validCount(), 0u);
+}
+
+TEST(SetAssocDir, KeysFlagsAndValidity)
+{
+    SetAssocDir dir(2, 2);
+    const i32 idx = dir.index(1, 1);
+    EXPECT_FALSE(dir.valid(idx));
+    dir.setKey(idx, 0xCAFE);
+    dir.setValid(idx, true);
+    EXPECT_TRUE(dir.valid(idx));
+    EXPECT_EQ(dir.key(idx), 0xCAFEu);
+    EXPECT_EQ(dir.validCount(), 1u);
+
+    // Client flag bits are independent of the valid bit.
+    dir.setFlag(idx, 2, true);
+    EXPECT_TRUE(dir.flag(idx, 2));
+    EXPECT_EQ(dir.flags(idx), SetAssocDir::kValid | 2);
+    dir.setFlag(idx, 2, false);
+    EXPECT_FALSE(dir.flag(idx, 2));
+    EXPECT_TRUE(dir.valid(idx));
+
+    // setValid is idempotent (count stays exact).
+    dir.setValid(idx, true);
+    EXPECT_EQ(dir.validCount(), 1u);
+    dir.setValid(idx, false);
+    dir.setValid(idx, false);
+    EXPECT_EQ(dir.validCount(), 0u);
+}
+
+TEST(SetAssocDir, FindWaySkipsInvalidAndWrongKeys)
+{
+    SetAssocDir dir(1, 4);
+    dir.setKey(dir.index(0, 1), 7);
+    EXPECT_EQ(dir.findWay(0, 7), -1); // key set but not valid
+    dir.setValid(dir.index(0, 1), true);
+    EXPECT_EQ(dir.findWay(0, 7), 1);
+    EXPECT_EQ(dir.findWay(0, 8), -1);
+}
+
+TEST(SetAssocDir, FindWayFlagsFiltersOnClientBits)
+{
+    // Two valid ways with the same key, one carrying client bit 2:
+    // the filtered probe must be able to select either.
+    SetAssocDir dir(1, 4);
+    dir.setKey(dir.index(0, 0), 9);
+    dir.setValid(dir.index(0, 0), true);
+    dir.setKey(dir.index(0, 2), 9);
+    dir.setValid(dir.index(0, 2), true);
+    dir.setFlag(dir.index(0, 2), 2, true);
+
+    const u8 all = SetAssocDir::kValid | 2;
+    EXPECT_EQ(dir.findWayFlags(0, 9, all, SetAssocDir::kValid), 0);
+    EXPECT_EQ(dir.findWayFlags(0, 9, all, all), 2);
+    EXPECT_EQ(dir.findWayFlags(0, 10, all, all), -1);
+}
+
+TEST(SetAssocDir, VictimPrefersInvalidInWayOrder)
+{
+    SetAssocDir dir(1, 4);
+    for (u32 w = 0; w < 4; ++w)
+        dir.setValid(dir.index(0, w), true);
+    dir.setValid(dir.index(0, 2), false);
+    EXPECT_EQ(dir.victimWay(0), 2u);
+}
+
+TEST(SetAssocDir, ReplacementMatchesSetAssocArray)
+{
+    // Property: for one long random stream of inserts and touches the
+    // directory and the template array must pick the same victims —
+    // this is what makes the optimized engine's eviction sequence
+    // bit-identical to the reference implementation's.
+    for (ReplPolicy policy :
+         {ReplPolicy::LRU, ReplPolicy::FIFO, ReplPolicy::RANDOM}) {
+        SetAssocArray<Entry> arr(4, 4, policy);
+        SetAssocDir dir(4, 4, policy);
+        Rng rng(0x5E7A550C);
+        for (int n = 0; n < 2000; ++n) {
+            const u32 set = static_cast<u32>(rng.below(4));
+            const u32 roll = static_cast<u32>(rng.below(10));
+            if (roll < 6) {
+                const u32 vArr = arr.victimWay(set);
+                const u32 vDir = dir.victimWay(set);
+                ASSERT_EQ(vArr, vDir)
+                    << replPolicyName(policy) << " op " << n;
+                arr.setValid(set, vArr, true);
+                arr.touchInsert(set, vArr);
+                dir.setValid(dir.index(set, vDir), true);
+                dir.touchInsert(set, vDir);
+            } else if (roll < 9) {
+                const u32 way = static_cast<u32>(rng.below(4));
+                if (arr.at(set, way).valid) {
+                    arr.touch(set, way);
+                    dir.touch(set, way);
+                }
+            } else {
+                const u32 way = static_cast<u32>(rng.below(4));
+                arr.setValid(set, way, false);
+                dir.setValid(dir.index(set, way), false);
+            }
+            ASSERT_EQ(arr.validCount(), dir.validCount());
+        }
+    }
+}
+
+TEST(SetAssocDir, InvalidateAllClearsEverything)
+{
+    SetAssocDir dir(2, 2);
+    for (u32 s = 0; s < 2; ++s) {
+        for (u32 w = 0; w < 2; ++w) {
+            dir.setValid(dir.index(s, w), true);
+            dir.setFlag(dir.index(s, w), 4, true);
+        }
+    }
+    EXPECT_EQ(dir.validCount(), 4u);
+    dir.invalidateAll();
+    EXPECT_EQ(dir.validCount(), 0u);
+    for (u32 s = 0; s < 2; ++s) {
+        for (u32 w = 0; w < 2; ++w) {
+            EXPECT_FALSE(dir.valid(dir.index(s, w)));
+            EXPECT_FALSE(dir.flag(dir.index(s, w), 4));
+        }
+    }
+}
+
 } // namespace dopp
